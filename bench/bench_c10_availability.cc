@@ -1,0 +1,249 @@
+// C10 — §2.2 / §5.1: availability under the paper's field failure rate.
+//
+// "On average, one fatal failure occurs per day per 200 processors."
+// We run accelerated fault injection (node MTTF scaled down) for hours of
+// simulated time, probe the service continuously, and report the metrics
+// the paper says evaluations should use: MTTF, MTTR, availability, nines —
+// against the 5-nines-is-5.26-minutes-per-year yardstick. The last row
+// crashes the (unreplicated) middleware controller: the SPOF of §3.2.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "client/driver.h"
+#include "middleware/controller.h"
+#include "faults/fault_injector.h"
+#include "metrics/availability.h"
+
+namespace replidb::bench {
+namespace {
+
+struct AvailabilityRow {
+  std::string label;
+  double availability = 0;
+  double nines = 0;
+  int outages = 0;
+  double mttr_s = 0;
+  double downtime_s = 0;
+};
+
+AvailabilityRow RunConfig(int replicas, bool crash_controller,
+                          sim::Duration horizon) {
+  workload::MicroWorkload::Options wo;
+  wo.rows = 200;
+  wo.write_fraction = 0.3;
+  workload::MicroWorkload w(wo);
+  ClusterOptions opts = BenchDefaults();
+  opts.replicas = replicas;
+  opts.controller.mode = middleware::ReplicationMode::kMasterSlaveAsync;
+  opts.controller.heartbeat.period = 200 * sim::kMillisecond;
+  opts.controller.heartbeat.timeout = 200 * sim::kMillisecond;
+  opts.controller.heartbeat.miss_threshold = 2;
+  opts.driver.request_timeout = 500 * sim::kMillisecond;
+  opts.driver.max_retries = 0;  // Expose the failover window to the probe.
+  auto c = MakeCluster(std::move(opts), &w);
+
+  // Accelerated failures: 8-CPU nodes at 1 fatal failure / 200 CPU-days
+  // gives MTTF = 25 days; we compress to minutes so hours of simulation
+  // show many failure cycles. The MTTF:MTTR ratio (25 days : 10 min) is
+  // preserved => per-node availability ~99.97%.
+  faults::FaultInjector::Options fo;
+  fo.node_mttf = 10 * sim::kMinute;  // 25 days, ~3600x accelerated.
+  fo.node_mttr = 20 * sim::kSecond;  // Node restart floor (not accelerated:
+                                     // reboot mechanics don't compress).
+  fo.seed = 77;
+  faults::FaultInjector injector(&c->sim, fo);
+  std::vector<middleware::ReplicaNode*> nodes;
+  for (auto& r : c->replicas) nodes.push_back(r.get());
+  injector.ScheduleCrashLoop(nodes, c->sim.Now() + horizon);
+
+  if (crash_controller) {
+    // One controller outage mid-run, repaired after 10 minutes — the
+    // operator has to notice and restart it by hand (§3.2).
+    c->sim.Schedule(horizon / 2, [&c] { c->controller->Crash(); });
+    c->sim.Schedule(horizon / 2 + 10 * sim::kMinute,
+                    [&c] { c->controller->Restart(); });
+  }
+
+  // Service probe: a write every 100 ms; two consecutive failures = down.
+  metrics::AvailabilityTracker tracker(c->sim.Now());
+  Rng rng(9);
+  int consecutive_failures = 0;
+  int ok_probes = 0, failed_probes = 0;
+  sim::PeriodicTask prober(&c->sim, 100 * sim::kMillisecond, [&] {
+    middleware::TxnRequest req = w.Next(&rng);
+    req.read_only = false;
+    req.statements = {"UPDATE accounts SET balance = balance + 1 WHERE id = " +
+                      std::to_string(rng.UniformRange(0, 199))};
+    c->driver()->Submit(std::move(req), [&](const middleware::TxnResult& r) {
+      if (r.status.ok()) {
+        ++ok_probes;
+        consecutive_failures = 0;
+        tracker.MarkUp(c->sim.Now());
+      } else {
+        ++failed_probes;
+        if (++consecutive_failures >= 2) tracker.MarkDown(c->sim.Now());
+      }
+    });
+  });
+  prober.Start();
+  c->sim.RunFor(horizon);
+  prober.Stop();
+  (void)ok_probes;
+  (void)failed_probes;
+
+  AvailabilityRow row;
+  row.availability = tracker.Availability(c->sim.Now());
+  row.nines = tracker.Nines(c->sim.Now());
+  row.outages = tracker.outages();
+  row.mttr_s = tracker.MttrMicros() / sim::kSecond;
+  row.downtime_s = sim::ToSeconds(tracker.Downtime(c->sim.Now()));
+  return row;
+}
+
+/// The §3.2 answer: the same controller-outage scenario, but with a warm
+/// standby controller fed by (a)synchronous state mirroring.
+AvailabilityRow RunReplicatedController(bool mirror_sync,
+                                        sim::Duration horizon,
+                                        double* write_mean_ms) {
+  using middleware::Controller;
+  using middleware::ControllerOptions;
+  using middleware::ReplicaNode;
+  sim::Simulator sim;
+  net::Network network(&sim, net::NetworkOptions{});
+  ClusterOptions defaults = BenchDefaults();
+  std::vector<std::unique_ptr<ReplicaNode>> replicas;
+  std::vector<ReplicaNode*> ptrs;
+  workload::MicroWorkload::Options wo;
+  wo.rows = 200;
+  wo.write_fraction = 0.3;
+  workload::MicroWorkload w(wo);
+  for (int i = 0; i < 3; ++i) {
+    engine::RdbmsOptions eopts = defaults.engine;
+    eopts.name = "r" + std::to_string(i + 1);
+    eopts.physical_seed = static_cast<uint64_t>(i + 1);
+    auto node = std::make_unique<ReplicaNode>(&sim, &network, i + 1, eopts,
+                                              defaults.replica);
+    for (const std::string& stmt : w.SetupStatements()) node->AdminExec(stmt);
+    ptrs.push_back(node.get());
+    replicas.push_back(std::move(node));
+  }
+  ControllerOptions ao = defaults.controller;
+  ao.mode = middleware::ReplicationMode::kMasterSlaveAsync;
+  ao.mirror_to = 101;
+  ao.mirror_sync = mirror_sync;
+  ao.heartbeat.period = 200 * sim::kMillisecond;
+  ao.heartbeat.timeout = 200 * sim::kMillisecond;
+  ao.heartbeat.miss_threshold = 2;
+  Controller active(&sim, &network, 100, ptrs, ao);
+  ControllerOptions so = ao;
+  so.mirror_to = -1;
+  so.standby_of = 100;
+  Controller standby(&sim, &network, 101, ptrs, so);
+  active.Start();
+  standby.Start();
+  client::DriverOptions dopts = defaults.driver;
+  dopts.controllers_are_replicas = true;
+  dopts.request_timeout = 500 * sim::kMillisecond;
+  dopts.max_retries = 3;
+  client::Driver driver(&sim, &network, 200, {100, 101}, dopts);
+  sim.RunFor(sim::kSecond);
+
+  // The same mid-run controller outage as the SPOF row.
+  sim.Schedule(horizon / 2, [&] { active.Crash(); });
+
+  metrics::AvailabilityTracker tracker(sim.Now());
+  Rng rng(9);
+  int consecutive_failures = 0;
+  Histogram write_ms;
+  sim::PeriodicTask prober(&sim, 100 * sim::kMillisecond, [&] {
+    middleware::TxnRequest req;
+    req.statements = {"UPDATE accounts SET balance = balance + 1 WHERE id = " +
+                      std::to_string(rng.UniformRange(0, 199))};
+    driver.Submit(std::move(req), [&](const middleware::TxnResult& r) {
+      if (r.status.ok()) {
+        consecutive_failures = 0;
+        tracker.MarkUp(sim.Now());
+        write_ms.Add(sim::ToMillis(r.latency));
+      } else if (++consecutive_failures >= 2) {
+        tracker.MarkDown(sim.Now());
+      }
+    });
+  });
+  prober.Start();
+  sim.RunFor(horizon);
+  prober.Stop();
+  AvailabilityRow row;
+  row.availability = tracker.Availability(sim.Now());
+  row.nines = tracker.Nines(sim.Now());
+  row.outages = tracker.outages();
+  row.mttr_s = tracker.MttrMicros() / sim::kSecond;
+  row.downtime_s = sim::ToSeconds(tracker.Downtime(sim.Now()));
+  if (write_mean_ms != nullptr) *write_mean_ms = write_ms.Mean();
+  return row;
+}
+
+void Run() {
+  metrics::Banner(
+      "C10 / §2.2: availability under field failure rates (accelerated)");
+  sim::Duration horizon = 2 * sim::kHour;
+  TablePrinter table({"configuration", "availability", "nines", "outages",
+                      "mttr_s", "downtime_s"});
+  struct Cfg {
+    const char* label;
+    int replicas;
+    bool controller_crash;
+  };
+  const Cfg cfgs[] = {
+      {"1 replica (no replication)", 1, false},
+      {"2 replicas, hot standby", 2, false},
+      {"3 replicas", 3, false},
+      {"3 replicas + controller SPOF outage", 3, true},
+  };
+  for (const Cfg& cfg : cfgs) {
+    AvailabilityRow r = RunConfig(cfg.replicas, cfg.controller_crash, horizon);
+    table.AddRow({cfg.label, TablePrinter::Num(100 * r.availability, 4) + "%",
+                  TablePrinter::Num(r.nines, 2),
+                  TablePrinter::Int(r.outages),
+                  TablePrinter::Num(r.mttr_s, 1),
+                  TablePrinter::Num(r.downtime_s, 1)});
+  }
+  // §3.2 answered: replicate the controller and re-run the SPOF scenario.
+  double async_ms = 0, sync_ms = 0;
+  AvailabilityRow ha_async =
+      RunReplicatedController(/*mirror_sync=*/false, 20 * sim::kMinute,
+                              &async_ms);
+  AvailabilityRow ha_sync =
+      RunReplicatedController(/*mirror_sync=*/true, 20 * sim::kMinute,
+                              &sync_ms);
+  TablePrinter ha({"controller deployment", "availability", "outages",
+                   "downtime_s", "write_mean_ms"});
+  ha.AddRow({"active + warm standby, async mirror",
+             TablePrinter::Num(100 * ha_async.availability, 4) + "%",
+             TablePrinter::Int(ha_async.outages),
+             TablePrinter::Num(ha_async.downtime_s, 1),
+             TablePrinter::Num(async_ms, 2)});
+  ha.AddRow({"active + warm standby, sync mirror",
+             TablePrinter::Num(100 * ha_sync.availability, 4) + "%",
+             TablePrinter::Int(ha_sync.outages),
+             TablePrinter::Num(ha_sync.downtime_s, 1),
+             TablePrinter::Num(sync_ms, 2)});
+  ha.Print(
+      "replicating the controller itself (20 min, controller crash at 10): "
+      "the cost §3.2 says is never measured");
+
+  table.Print("2 simulated hours, node MTTF 10min / node MTTR 20s");
+  std::printf(
+      "\nYardstick: five nines allows 5.26 minutes of downtime per YEAR\n"
+      "(§4.4, §5.1). Replication cuts downtime to detection+failover\n"
+      "windows — until the unreplicated middleware itself fails (§3.2),\n"
+      "which single-handedly wipes out the availability budget.\n");
+}
+
+}  // namespace
+}  // namespace replidb::bench
+
+int main() {
+  replidb::bench::Run();
+  return 0;
+}

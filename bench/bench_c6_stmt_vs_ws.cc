@@ -1,0 +1,202 @@
+// C6 — §4.3.2: statement replication vs transaction (writeset) replication.
+//
+// Three comparisons from the paper's discussion:
+//  (a) bulk updates: one small statement vs hundreds of row images — CPU
+//      is repeated on every replica under statement mode, network bytes
+//      explode under writeset mode;
+//  (b) stored procedures: "by replicating a stored procedure call, all the
+//      read queries will be executed by all nodes" vs "writeset extraction
+//      ... would be expensive";
+//  (c) correctness: what each mode does to non-deterministic SQL
+//      (condensed from the F8 matrix).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace replidb::bench {
+namespace {
+
+using middleware::ReplicationMode;
+
+void BulkUpdateComparison() {
+  TablePrinter table({"mode", "tps", "write_mean_ms", "bytes_shipped_MB",
+                      "slave_stmts_executed"});
+  for (ReplicationMode mode : {ReplicationMode::kMultiMasterStatement,
+                               ReplicationMode::kMultiMasterCertification}) {
+    // Bulk workload: each write touches ~100 rows with one statement.
+    class BulkWorkload : public workload::Workload {
+     public:
+      std::vector<std::string> SetupStatements() const override {
+        std::vector<std::string> out = {
+            "CREATE TABLE bulk (id INT PRIMARY KEY, grp INT, v INT)"};
+        std::string batch;
+        for (int i = 0; i < 2000; ++i) {
+          batch += batch.empty() ? "INSERT INTO bulk VALUES " : ", ";
+          batch += "(" + std::to_string(i) + ", " + std::to_string(i / 100) +
+                   ", 0)";
+          if ((i + 1) % 200 == 0) {
+            out.push_back(batch);
+            batch.clear();
+          }
+        }
+        return out;
+      }
+      middleware::TxnRequest Next(Rng* rng) override {
+        middleware::TxnRequest req;
+        req.read_only = false;
+        int64_t grp = rng->UniformRange(0, 19);
+        req.statements.push_back("UPDATE bulk SET v = v + 1 WHERE grp = " +
+                                 std::to_string(grp));
+        return req;
+      }
+    } w;
+    ClusterOptions opts = BenchDefaults();
+    opts.replicas = 3;
+    opts.controller.mode = mode;
+    opts.driver.max_retries = 5;
+    auto c = MakeCluster(std::move(opts), &w);
+    uint64_t bytes_before = c->network->bytes_delivered();
+    uint64_t slave_stmts_before =
+        c->replica(1)->engine()->stats().statements_executed;
+    RunStats stats = RunClosedLoop(c.get(), &w, /*clients=*/16,
+                                   10 * sim::kSecond);
+    double mb = static_cast<double>(c->network->bytes_delivered() -
+                                    bytes_before) /
+                1e6;
+    uint64_t slave_stmts =
+        c->replica(1)->engine()->stats().statements_executed -
+        slave_stmts_before;
+    table.AddRow({mode == ReplicationMode::kMultiMasterStatement
+                      ? "statement (re-execute everywhere)"
+                      : "writeset (row images, apply)",
+                  TablePrinter::Num(stats.ThroughputTps(), 0),
+                  TablePrinter::Num(stats.write_latency_ms.Mean(), 2),
+                  TablePrinter::Num(mb, 1),
+                  TablePrinter::Int(static_cast<int64_t>(slave_stmts))});
+  }
+  table.Print("(a) bulk updates: 100 rows per statement, 3 replicas");
+}
+
+void StoredProcedureComparison() {
+  // A procedure that reads a lot and writes a little — the worst case for
+  // statement-style re-execution of its body (§4.2.1).
+  auto register_proc = [](Cluster* c) {
+    for (int i = 0; i < 3; ++i) {
+      c->replica(i)->engine()->RegisterProcedure(
+          "summarize", [](engine::ProcedureContext* ctx) {
+            // Heavy read: scan the table; light write: bump one counter.
+            engine::ExecResult scan =
+                ctx->Exec("SELECT SUM(v) FROM bulk");
+            if (!scan.ok()) return scan.status;
+            int64_t sum = scan.rows[0][0].is_null()
+                              ? 0
+                              : scan.rows[0][0].AsInt();
+            return ctx
+                ->Exec("UPDATE summary SET total = " + std::to_string(sum) +
+                       " WHERE id = 1")
+                .status;
+          });
+    }
+  };
+  class ProcWorkload : public workload::Workload {
+   public:
+    std::vector<std::string> SetupStatements() const override {
+      std::vector<std::string> out = {
+          "CREATE TABLE bulk (id INT PRIMARY KEY, v INT)",
+          "CREATE TABLE summary (id INT PRIMARY KEY, total INT)",
+          "INSERT INTO summary VALUES (1, 0)"};
+      std::string batch;
+      for (int i = 0; i < 1500; ++i) {
+        batch += batch.empty() ? "INSERT INTO bulk VALUES " : ", ";
+        batch += "(" + std::to_string(i) + ", 1)";
+        if ((i + 1) % 300 == 0) {
+          out.push_back(batch);
+          batch.clear();
+        }
+      }
+      return out;
+    }
+    middleware::TxnRequest Next(Rng* rng) override {
+      (void)rng;
+      middleware::TxnRequest req;
+      req.read_only = false;  // CALL may write; nobody can tell (§4.2.1).
+      req.statements.push_back("CALL summarize()");
+      return req;
+    }
+  } w;
+  TablePrinter table({"mode", "tps", "call_mean_ms", "slave_rows_scanned"});
+  for (ReplicationMode mode : {ReplicationMode::kMultiMasterStatement,
+                               ReplicationMode::kMultiMasterCertification}) {
+    ClusterOptions opts = BenchDefaults();
+    opts.replicas = 3;
+    opts.controller.mode = mode;
+    opts.driver.max_retries = 5;
+    auto c = MakeCluster(std::move(opts), &w);
+    register_proc(c.get());
+    uint64_t scanned_before = c->replica(1)->engine()->stats().rows_scanned;
+    RunStats stats = RunClosedLoop(c.get(), &w, /*clients=*/8,
+                                   8 * sim::kSecond);
+    uint64_t slave_scanned =
+        c->replica(1)->engine()->stats().rows_scanned - scanned_before;
+    table.AddRow({mode == ReplicationMode::kMultiMasterStatement
+                      ? "statement: CALL re-executed everywhere"
+                      : "writeset: execute once, ship 1 row image",
+                  TablePrinter::Num(stats.ThroughputTps(), 0),
+                  TablePrinter::Num(stats.write_latency_ms.Mean(), 2),
+                  TablePrinter::Int(static_cast<int64_t>(slave_scanned))});
+  }
+  table.Print("(b) stored procedure: heavy read body, single-row write");
+  std::printf(
+      "\n(b) reading: statement mode makes every replica repeat the scan —\n"
+      "\"all the read queries will be executed by all nodes, resulting in\n"
+      "no speedup and thus a waste of resources\" (§4.2.1). Writeset mode\n"
+      "ships one tiny row image instead.\n");
+}
+
+void ExtractionCostAblation() {
+  // §4.3.2: "Writeset extraction is usually implemented using triggers,
+  // to prevent database code modifications" — at a per-row price.
+  TablePrinter table({"extraction", "write_tps", "write_mean_ms"});
+  for (bool via_triggers : {false, true}) {
+    workload::MicroWorkload::Options wo;
+    wo.rows = 20000;  // Negligible contention: isolate the extraction cost.
+    wo.write_fraction = 1.0;
+    workload::MicroWorkload w(wo);
+    ClusterOptions opts = BenchDefaults();
+    opts.replicas = 3;
+    opts.controller.mode = ReplicationMode::kMultiMasterCertification;
+    opts.engine.writesets_via_triggers = via_triggers;
+    opts.engine.cost_model.writeset_trigger_us_per_row = 800;
+    auto c = MakeCluster(std::move(opts), &w);
+    // Fixed offered load below every ceiling: the extraction cost shows
+    // up as pure latency.
+    RunStats stats = RunOpenLoop(c.get(), &w, /*rate_tps=*/800,
+                                 8 * sim::kSecond);
+    table.AddRow({via_triggers ? "trigger-based (C-JDBC/Middle-R style)"
+                               : "engine-native capture",
+                  TablePrinter::Num(stats.ThroughputTps(), 0),
+                  TablePrinter::Num(stats.write_latency_ms.Mean(), 2)});
+  }
+  table.Print("(d) ablation: writeset extraction mechanism (800 tps offered)");
+}
+
+void Run() {
+  metrics::Banner("C6 / §4.3.2: statement vs writeset replication");
+  BulkUpdateComparison();
+  StoredProcedureComparison();
+  ExtractionCostAblation();
+  std::printf(
+      "\n(c) correctness: see bench_f8_challenge_matrix — statement mode\n"
+      "diverges on RAND()/unordered LIMIT but keeps sequences in lockstep;\n"
+      "writeset mode is immune to non-determinism but misses sequences and\n"
+      "needs primary keys (§4.2.3, §4.3.2).\n");
+}
+
+}  // namespace
+}  // namespace replidb::bench
+
+int main() {
+  replidb::bench::Run();
+  return 0;
+}

@@ -1,0 +1,150 @@
+// F4 — Figure 4 (§2.2): worldwide multi-way master/slave replication.
+//
+// Three sites (EU, US, Asia). Each site is master for its own geographic
+// data partition; each partition keeps a disaster-recovery replica at the
+// next site, fed asynchronously over the WAN. Reported: local commit
+// latency, the cost of synchronous cross-site commit (why nobody does it),
+// DR-copy lag, and the loss window when a whole site is wiped out.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace replidb::bench {
+namespace {
+
+using middleware::Controller;
+using middleware::ControllerOptions;
+using middleware::ReplicaNode;
+using middleware::ReplicationMode;
+
+constexpr const char* kSiteNames[] = {"EU", "US", "Asia"};
+
+struct WanDeployment {
+  sim::Simulator sim;
+  std::unique_ptr<net::Network> network;
+  // Per site: [0] local master, [1] local slave, [2] remote DR replica.
+  std::vector<std::unique_ptr<ReplicaNode>> replicas;
+  std::vector<std::unique_ptr<Controller>> controllers;
+  std::vector<std::unique_ptr<client::Driver>> drivers;
+};
+
+std::unique_ptr<WanDeployment> Build(workload::Workload* w,
+                                     ReplicationMode mode) {
+  auto d = std::make_unique<WanDeployment>();
+  net::NetworkOptions nopts;  // Defaults: 50 ms WAN one-way, 0.2 ms LAN.
+  d->network = std::make_unique<net::Network>(&d->sim, nopts);
+  ClusterOptions defaults = BenchDefaults();
+  for (int s = 0; s < 3; ++s) {
+    std::vector<ReplicaNode*> members;
+    for (int r = 0; r < 3; ++r) {
+      engine::RdbmsOptions eopts = defaults.engine;
+      eopts.name = std::string(kSiteNames[s]) + "-r" + std::to_string(r);
+      eopts.physical_seed = static_cast<uint64_t>(s * 10 + r + 1);
+      // Replica 2 is the DR copy, hosted at the *next* site.
+      net::SiteId site = (r == 2) ? (s + 1) % 3 : s;
+      auto node = std::make_unique<ReplicaNode>(
+          &d->sim, d->network.get(), s * 10 + r + 1, eopts, defaults.replica,
+          site);
+      for (const std::string& stmt : w->SetupStatements()) node->AdminExec(stmt);
+      members.push_back(node.get());
+      d->replicas.push_back(std::move(node));
+    }
+    ControllerOptions copts = defaults.controller;
+    copts.mode = mode;
+    copts.sync_ack_count = 2;  // Sync mode must reach the remote DR copy.
+    copts.heartbeat.period = sim::kSecond;
+    copts.heartbeat.timeout = 900 * sim::kMillisecond;
+    copts.request_timeout = 5 * sim::kSecond;
+    auto controller = std::make_unique<Controller>(
+        &d->sim, d->network.get(), 100 + s, members, copts, /*site=*/s);
+    controller->Start();
+    d->controllers.push_back(std::move(controller));
+    d->drivers.push_back(std::make_unique<client::Driver>(
+        &d->sim, d->network.get(), 200 + s,
+        std::vector<net::NodeId>{100 + s}, client::DriverOptions{}, s));
+  }
+  d->sim.RunFor(2 * sim::kSecond);
+  return d;
+}
+
+void Run() {
+  metrics::Banner("F4 / Figure 4: 3-site WAN multi-way master/slave");
+
+  // --- Local vs cross-site commit latency -----------------------------------
+  TablePrinter lat({"commit mode", "write_mean_ms", "write_p99_ms"});
+  for (ReplicationMode mode : {ReplicationMode::kMasterSlaveAsync,
+                               ReplicationMode::kMasterSlaveSync}) {
+    workload::TicketBrokerWorkload w;
+    auto d = Build(&w, mode);
+    workload::ClosedLoopGenerator gen(&d->sim, d->drivers[0].get(), &w,
+                                      /*clients=*/16, 0, 11);
+    gen.Run(10 * sim::kSecond);
+    const RunStats& stats = gen.stats();
+    lat.AddRow({mode == ReplicationMode::kMasterSlaveAsync
+                    ? "async to DR copy (1-safe)"
+                    : "sync incl. remote DR copy (2-safe x2)",
+                TablePrinter::Num(stats.write_latency_ms.Mean(), 2),
+                TablePrinter::Num(stats.write_latency_ms.Percentile(99), 2)});
+  }
+  lat.Print("EU-site commit latency: async vs synchronous WAN replication");
+  std::printf(
+      "\nThe WAN round trip makes synchronous replication two orders of\n"
+      "magnitude slower: \"asynchronous replication is preferred over long\n"
+      "distance links\" (§4.3.4.1).\n");
+
+  // --- DR lag and site disaster -----------------------------------------------
+  workload::TicketBrokerWorkload w;
+  auto d = Build(&w, ReplicationMode::kMasterSlaveAsync);
+  ReplicaNode* eu_master = d->replicas[0].get();
+  ReplicaNode* eu_dr = d->replicas[2].get();  // Hosted in the US.
+  uint64_t max_lag = 0;
+  sim::PeriodicTask lag_sampler(&d->sim, 100 * sim::kMillisecond, [&] {
+    uint64_t m = eu_master->applied_version();
+    uint64_t s = eu_dr->applied_version();
+    if (m > s) max_lag = std::max(max_lag, m - s);
+  });
+  lag_sampler.Start();
+  workload::OpenLoopGenerator gen(&d->sim, d->drivers[0].get(), &w,
+                                  /*rate_tps=*/400, 13);
+  gen.Run(10 * sim::kSecond);
+  lag_sampler.Stop();
+  TablePrinter dr({"metric", "value"});
+  dr.AddRow({"EU committed versions",
+             TablePrinter::Int(static_cast<int64_t>(eu_master->applied_version()))});
+  dr.AddRow({"DR copy (US) applied",
+             TablePrinter::Int(static_cast<int64_t>(eu_dr->applied_version()))});
+  dr.AddRow({"peak DR lag under load (versions)",
+             TablePrinter::Int(static_cast<int64_t>(max_lag))});
+
+  // Site disaster: both EU-local nodes vanish (earthquake/flood, §2.2).
+  d->replicas[0]->Crash();
+  d->replicas[1]->Crash();
+  d->sim.RunFor(10 * sim::kSecond);
+  dr.AddRow({"post-disaster master (node id)",
+             TablePrinter::Int(d->controllers[0]->master())});
+  dr.AddRow({"transactions lost at disaster",
+             TablePrinter::Int(static_cast<int64_t>(
+                 d->controllers[0]->stats().lost_transactions))});
+  // Writes for EU data continue against the US-hosted copy.
+  bool resumed = false;
+  middleware::TxnRequest probe;
+  probe.read_only = false;
+  probe.statements = {"UPDATE inventory SET stock = stock - 1 WHERE item = 1"};
+  d->drivers[0]->Submit(probe, [&](const middleware::TxnResult& r) {
+    resumed = r.status.ok();
+  });
+  d->sim.RunFor(10 * sim::kSecond);
+  dr.AddRow({"EU-data writes resumed on US copy", resumed ? "yes" : "no"});
+  dr.Print("disaster recovery via the cross-site replica");
+}
+
+}  // namespace
+}  // namespace replidb::bench
+
+int main() {
+  replidb::bench::Run();
+  return 0;
+}

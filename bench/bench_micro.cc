@@ -1,0 +1,218 @@
+// Micro-benchmarks (google-benchmark): per-component costs that back the
+// scenario benches — SQL parsing/rewriting (the middleware's per-statement
+// tax), engine transaction primitives, writeset capture/apply, and
+// certification throughput. These are wall-clock benchmarks of the actual
+// implementation (no simulated time).
+
+#include <benchmark/benchmark.h>
+
+#include "engine/rdbms.h"
+#include "middleware/recovery_log.h"
+#include "sql/determinism.h"
+#include "sql/parser.h"
+
+namespace replidb {
+namespace {
+
+// --- SQL layer --------------------------------------------------------------
+
+void BM_ParsePointSelect(benchmark::State& state) {
+  for (auto _ : state) {
+    auto r = sql::Parse("SELECT balance, owner FROM accounts WHERE id = 12345");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ParsePointSelect);
+
+void BM_ParseComplexUpdate(benchmark::State& state) {
+  for (auto _ : state) {
+    auto r = sql::Parse(
+        "UPDATE foo SET keyvalue = 'x', ts = NOW(), n = n + 1 WHERE id IN "
+        "(SELECT id FROM foo WHERE keyvalue = NULL ORDER BY id LIMIT 10) "
+        "AND n < 100");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ParseComplexUpdate);
+
+void BM_AnalyzeDeterminism(benchmark::State& state) {
+  sql::Statement stmt =
+      sql::Parse("UPDATE t SET x = RAND(), ts = NOW() WHERE id = 5").TakeValue();
+  for (auto _ : state) {
+    auto report = sql::Analyze(stmt);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_AnalyzeDeterminism);
+
+void BM_RewriteAndSerialize(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    sql::Statement stmt =
+        sql::Parse("INSERT INTO t (a, b, c) VALUES (NOW(), RAND(), 7)")
+            .TakeValue();
+    sql::RewriteForStatementReplication(&stmt, sql::Value::Int(123), &rng);
+    std::string text = sql::ToSql(stmt);
+    benchmark::DoNotOptimize(text);
+  }
+}
+BENCHMARK(BM_RewriteAndSerialize);
+
+// --- Engine -----------------------------------------------------------------
+
+struct EngineFixture {
+  engine::Rdbms db;
+  engine::SessionId session;
+
+  explicit EngineFixture(int rows) : db(engine::RdbmsOptions{}) {
+    session = db.Connect().value();
+    db.Execute(session, "CREATE TABLE accounts (id INT PRIMARY KEY, v INT)");
+    std::string batch;
+    for (int i = 0; i < rows; ++i) {
+      batch += batch.empty() ? "INSERT INTO accounts VALUES " : ", ";
+      batch += "(" + std::to_string(i) + ", 0)";
+      if ((i + 1) % 500 == 0 || i + 1 == rows) {
+        db.Execute(session, batch);
+        batch.clear();
+      }
+    }
+  }
+};
+
+void BM_EnginePointRead(benchmark::State& state) {
+  EngineFixture f(10000);
+  int64_t i = 0;
+  for (auto _ : state) {
+    auto r = f.db.Execute(f.session, "SELECT v FROM accounts WHERE id = " +
+                                         std::to_string(i++ % 10000));
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_EnginePointRead);
+
+void BM_EnginePointUpdate(benchmark::State& state) {
+  EngineFixture f(10000);
+  int64_t i = 0;
+  for (auto _ : state) {
+    auto r = f.db.Execute(
+        f.session, "UPDATE accounts SET v = v + 1 WHERE id = " +
+                       std::to_string(i++ % 10000));
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_EnginePointUpdate);
+
+void BM_EngineInsert(benchmark::State& state) {
+  EngineFixture f(0);
+  int64_t i = 0;
+  for (auto _ : state) {
+    auto r = f.db.Execute(f.session, "INSERT INTO accounts VALUES (" +
+                                         std::to_string(i++) + ", 0)");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_EngineInsert);
+
+void BM_EngineScan1k(benchmark::State& state) {
+  EngineFixture f(1000);
+  for (auto _ : state) {
+    auto r = f.db.Execute(f.session, "SELECT SUM(v) FROM accounts");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_EngineScan1k);
+
+void BM_EngineTransaction3Stmts(benchmark::State& state) {
+  EngineFixture f(10000);
+  int64_t i = 0;
+  for (auto _ : state) {
+    f.db.Execute(f.session, "BEGIN");
+    f.db.Execute(f.session, "SELECT v FROM accounts WHERE id = " +
+                                std::to_string(i % 10000));
+    f.db.Execute(f.session, "UPDATE accounts SET v = v + 1 WHERE id = " +
+                                std::to_string(i % 10000));
+    auto r = f.db.Execute(f.session, "COMMIT");
+    benchmark::DoNotOptimize(r);
+    ++i;
+  }
+}
+BENCHMARK(BM_EngineTransaction3Stmts);
+
+// --- Writeset capture and apply ------------------------------------------------
+
+void BM_WritesetApply(benchmark::State& state) {
+  EngineFixture source(1000);
+  EngineFixture target(1000);
+  // Capture one writeset of `ops` row updates.
+  int ops = static_cast<int>(state.range(0));
+  source.db.Execute(source.session, "BEGIN");
+  source.db.Execute(source.session,
+                    "UPDATE accounts SET v = v + 1 WHERE id < " +
+                        std::to_string(ops));
+  engine::Writeset ws = *source.db.CurrentWriteset(source.session);
+  source.db.Execute(source.session, "COMMIT");
+  for (auto _ : state) {
+    auto r = target.db.ApplyWriteset(ws);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * ops);
+}
+BENCHMARK(BM_WritesetApply)->Arg(1)->Arg(10)->Arg(100);
+
+// --- Certification ----------------------------------------------------------------
+
+void BM_CertifierThroughput(benchmark::State& state) {
+  // Certification = key lookups in the last-writer map, the certifier's
+  // hot loop (§3.2's centralized certifier).
+  std::unordered_map<std::string, uint64_t> last_writer;
+  for (int i = 0; i < 100000; ++i) {
+    last_writer["main.accounts/" + std::to_string(i)] = i;
+  }
+  uint64_t version = 100000;
+  int64_t i = 0;
+  std::vector<std::string> keys = {"main.accounts/42", "main.accounts/77",
+                                   "main.accounts/99999"};
+  for (auto _ : state) {
+    bool ok = true;
+    uint64_t begin = version - 5;
+    for (const std::string& k : keys) {
+      auto it = last_writer.find(k);
+      if (it != last_writer.end() && it->second > begin) ok = false;
+    }
+    benchmark::DoNotOptimize(ok);
+    last_writer[keys[static_cast<size_t>(i++) % keys.size()]] = ++version;
+  }
+}
+BENCHMARK(BM_CertifierThroughput);
+
+void BM_RecoveryLogAppendAndRange(benchmark::State& state) {
+  middleware::RecoveryLog log;
+  middleware::GlobalVersion v = 0;
+  for (auto _ : state) {
+    middleware::ReplicationEntry entry;
+    entry.version = ++v;
+    entry.statements = {"UPDATE accounts SET v = v + 1 WHERE id = 1"};
+    entry.use_statements = true;
+    log.Append(std::move(entry));
+    if (v % 1024 == 0) {
+      auto range = log.Range(v - 1024, v);
+      benchmark::DoNotOptimize(range);
+    }
+  }
+}
+BENCHMARK(BM_RecoveryLogAppendAndRange);
+
+void BM_ContentHash(benchmark::State& state) {
+  EngineFixture f(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    uint64_t h = f.db.ContentHash();
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ContentHash)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace replidb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,119 @@
+#ifndef REPLIDB_BENCH_BENCH_UTIL_H_
+#define REPLIDB_BENCH_BENCH_UTIL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "metrics/report.h"
+#include "middleware/cluster.h"
+#include "workload/load_generator.h"
+#include "workload/workloads.h"
+
+namespace replidb::bench {
+
+using metrics::TablePrinter;
+using middleware::Cluster;
+using middleware::ClusterOptions;
+using workload::RunStats;
+
+/// Engine/replica cost calibration shared by the scenario benches:
+/// ~1 ms point queries and ~2 ms durable commits on 4-worker replicas —
+/// OLTP numbers of the paper's era, so saturation appears at realistic
+/// scales without burning wall-clock time.
+inline ClusterOptions BenchDefaults() {
+  ClusterOptions o;
+  o.engine.cost_model.base_us = 800;
+  o.engine.cost_model.per_row_scanned_us = 2.0;
+  o.engine.cost_model.per_row_written_us = 40.0;
+  o.engine.cost_model.commit_us = 1500;
+  o.replica.capacity = 4;
+  o.replica.apply_workers = 2;
+  o.replica.ship_interval = 10 * sim::kMillisecond;
+  o.replica.apply_base_us = 400;
+  o.replica.apply_per_op_us = 60;
+  return o;
+}
+
+/// Builds a cluster, loads the workload's schema, starts it.
+inline std::unique_ptr<Cluster> MakeCluster(ClusterOptions opts,
+                                            workload::Workload* workload) {
+  auto c = std::make_unique<Cluster>(std::move(opts));
+  c->Setup(workload->SetupStatements());
+  c->Start();
+  // Let heartbeats settle before traffic.
+  c->sim.RunFor(sim::kSecond);
+  return c;
+}
+
+/// Runs an open-loop load against driver 0 and returns the stats.
+inline RunStats RunOpenLoop(Cluster* c, workload::Workload* workload,
+                            double rate_tps, sim::Duration duration,
+                            uint64_t seed = 7) {
+  workload::OpenLoopGenerator gen(&c->sim, c->driver(), workload, rate_tps,
+                                  seed);
+  gen.Run(duration);
+  return gen.stats();
+}
+
+/// Runs a closed loop of `clients` against driver 0.
+inline RunStats RunClosedLoop(Cluster* c, workload::Workload* workload,
+                              int clients, sim::Duration duration,
+                              sim::Duration think = 0, uint64_t seed = 7) {
+  workload::ClosedLoopGenerator gen(&c->sim, c->driver(), workload, clients,
+                                    think, seed);
+  gen.Run(duration);
+  return gen.stats();
+}
+
+/// \brief Baseline client that talks to a single replica directly, with no
+/// replication middleware in the path (the "single database" baseline the
+/// paper compares against in §4.4.5). One outstanding transaction at a
+/// time (synchronous, like a driver on a dedicated connection).
+class DirectClient {
+ public:
+  DirectClient(sim::Simulator* sim, net::Network* network, net::NodeId node,
+               net::NodeId replica)
+      : sim_(sim), replica_(replica) {
+    dispatcher_ = std::make_unique<net::Dispatcher>(network, node);
+    dispatcher_->On(middleware::kMsgExecReply, [this](const net::Message& m) {
+      auto reply = std::any_cast<middleware::ExecTxnReply>(m.body);
+      auto it = callbacks_.find(reply.req_id);
+      if (it == callbacks_.end()) return;
+      auto cb = std::move(it->second);
+      callbacks_.erase(it);
+      cb(reply);
+    });
+  }
+
+  void Execute(const middleware::TxnRequest& req,
+               std::function<void(const middleware::ExecTxnReply&)> cb) {
+    middleware::ExecTxnMsg msg;
+    msg.req_id = next_req_++;
+    msg.statements = req.statements;
+    msg.read_only = req.read_only;
+    callbacks_[msg.req_id] = std::move(cb);
+    dispatcher_->Send(replica_, middleware::kMsgExec, msg, 256);
+  }
+
+ private:
+  sim::Simulator* sim_;
+  net::NodeId replica_;
+  std::unique_ptr<net::Dispatcher> dispatcher_;
+  std::unordered_map<uint64_t, std::function<void(const middleware::ExecTxnReply&)>>
+      callbacks_;
+  uint64_t next_req_ = 1;
+};
+
+/// Pretty throughput/latency row cells.
+inline std::vector<std::string> StatsCells(const RunStats& s) {
+  return {TablePrinter::Num(s.ThroughputTps(), 0),
+          TablePrinter::Num(s.latency_ms.Mean(), 2),
+          TablePrinter::Num(s.latency_ms.Percentile(99), 2),
+          TablePrinter::Num(100.0 * s.AbortRate(), 2)};
+}
+
+}  // namespace replidb::bench
+
+#endif  // REPLIDB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,105 @@
+// Management operations the paper says production needs and research
+// ignores (§4.4): online backup, removing a replica for maintenance and
+// resynchronizing it from the recovery log, and cloning a brand-new
+// replica into a running cluster — all without stopping the service.
+
+#include <cstdio>
+
+#include "middleware/cluster.h"
+#include "workload/load_generator.h"
+#include "workload/workloads.h"
+
+using namespace replidb;
+
+int main() {
+  middleware::ClusterOptions options;
+  options.replicas = 2;
+  options.controller.mode = middleware::ReplicationMode::kMasterSlaveAsync;
+  options.engine.cost_model.base_us = 800;
+  options.engine.cost_model.commit_us = 1500;
+  middleware::Cluster cluster(options);
+
+  workload::TicketBrokerWorkload::Options wo;
+  wo.items = 1500;
+  workload::TicketBrokerWorkload broker(wo);
+  cluster.Setup(broker.SetupStatements());
+  cluster.Start();
+
+  // Background load for the whole session.
+  workload::OpenLoopGenerator gen(&cluster.sim, cluster.driver(), &broker,
+                                  /*rate_tps=*/500, /*seed=*/44);
+
+  // --- 1. Online hot backup ------------------------------------------------
+  bool backup_ok = false;
+  engine::BackupImage image;
+  cluster.sim.Schedule(3 * sim::kSecond, [&] {
+    std::printf("[t=%.1fs] starting hot backup on replica 2 (service up)\n",
+                sim::ToSeconds(cluster.sim.Now()));
+    engine::BackupOptions bo;
+    bo.include_metadata = true;   // Users + triggers: a REAL clone (§4.1.5).
+    bo.include_sequences = true;  // Sequence state too (§4.2.3).
+    cluster.controller->StartBackup(
+        2, bo, [&](Result<engine::BackupImage> result) {
+          backup_ok = result.ok();
+          if (result.ok()) image = result.TakeValue();
+          std::printf("[t=%.1fs] backup %s (%lld bytes, as of version %llu)\n",
+                      sim::ToSeconds(cluster.sim.Now()),
+                      backup_ok ? "complete" : "FAILED",
+                      static_cast<long long>(image.SizeBytes()),
+                      static_cast<unsigned long long>(image.as_of));
+        });
+  });
+
+  // --- 2. Remove a replica for maintenance, then rejoin it ------------------
+  cluster.sim.Schedule(6 * sim::kSecond, [&] {
+    std::printf("[t=%.1fs] replica 2 removed for maintenance "
+                "(checkpoint recorded)\n",
+                sim::ToSeconds(cluster.sim.Now()));
+    cluster.controller->RemoveReplica(2);
+  });
+  cluster.sim.Schedule(12 * sim::kSecond, [&] {
+    std::printf("[t=%.1fs] maintenance done; replaying recovery log tail\n",
+                sim::ToSeconds(cluster.sim.Now()));
+    cluster.controller->RejoinReplica(2);
+  });
+
+  // --- 3. Clone a brand-new replica into the running cluster ---------------
+  engine::RdbmsOptions eopts = cluster.options.engine;
+  eopts.name = "replica-3-new";
+  eopts.physical_seed = 999;
+  middleware::ReplicaNode fresh(&cluster.sim, cluster.network.get(), 50,
+                                eopts, cluster.options.replica);
+  cluster.sim.Schedule(16 * sim::kSecond, [&] {
+    std::printf("[t=%.1fs] adding a brand-new empty replica (node 50)\n",
+                sim::ToSeconds(cluster.sim.Now()));
+    cluster.controller->AddReplica(&fresh, /*donor=*/1, [&](Status s) {
+      std::printf("[t=%.1fs] new replica online: %s\n",
+                  sim::ToSeconds(cluster.sim.Now()), s.ToString().c_str());
+    });
+  });
+
+  gen.Run(25 * sim::kSecond);
+
+  const workload::RunStats& stats = gen.stats();
+  std::printf("\n--- service impact over the whole session ---\n");
+  std::printf("throughput   %.0f tps, %llu failed of %llu submitted\n",
+              stats.ThroughputTps(),
+              static_cast<unsigned long long>(stats.failed),
+              static_cast<unsigned long long>(stats.submitted));
+  std::printf("latency      mean %.2f ms, p99 %.2f ms\n",
+              stats.latency_ms.Mean(), stats.latency_ms.Percentile(99));
+  std::printf("resyncs      %llu completed\n",
+              static_cast<unsigned long long>(
+                  cluster.controller->stats().resyncs_completed));
+  cluster.sim.RunFor(3 * sim::kSecond);
+  bool all_equal = cluster.Converged() &&
+                   fresh.engine()->ContentHash() ==
+                       cluster.replica(0)->engine()->ContentHash();
+  std::printf("all three replicas identical: %s\n", all_equal ? "yes" : "NO");
+  std::printf(
+      "\nEvery operation ran against a live cluster: hot backup, remove +\n"
+      "checkpoint + replay (the Sequoia recovery-log design, §4.4.2), and\n"
+      "online cloning. No planned downtime consumed the availability\n"
+      "budget (§4.4).\n");
+  return 0;
+}

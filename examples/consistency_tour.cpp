@@ -1,0 +1,140 @@
+// A tour of the consistency spectrum (§3.3): the same two-session scenario
+// under four cluster-level guarantees, showing exactly which anomalies
+// each one permits.
+//
+// Scenario: session A updates a row; session B (a different client) then
+// reads it; finally A reads its own write back. Under lazy replication the
+// answers differ per guarantee.
+
+#include <cstdio>
+
+#include "middleware/cluster.h"
+
+using namespace replidb;
+using middleware::Cluster;
+using middleware::ClusterOptions;
+using middleware::ConsistencyLevel;
+using middleware::TxnRequest;
+using middleware::TxnResult;
+
+namespace {
+
+TxnResult Run(Cluster* cluster, int driver, TxnRequest req) {
+  TxnResult out;
+  bool done = false;
+  cluster->driver(driver)->Submit(std::move(req), [&](const TxnResult& r) {
+    out = r;
+    done = true;
+  });
+  while (!done) cluster->sim.RunFor(50 * sim::kMillisecond);
+  return out;
+}
+
+TxnRequest Write(const char* sql) {
+  TxnRequest r;
+  r.statements = {sql};
+  return r;
+}
+
+TxnRequest Read(const char* sql) {
+  TxnRequest r;
+  r.statements = {sql};
+  r.read_only = true;
+  return r;
+}
+
+int64_t ReadBalance(const TxnResult& r) {
+  if (!r.status.ok() || r.rows.empty()) return -1;
+  return r.rows[0][0].AsInt();
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "scenario: A writes balance=777; B reads; A reads its own write.\n"
+      "lazy master-slave cluster (300 ms shipping), reads on slaves only.\n\n");
+  std::printf("%-28s %-14s %-14s %-10s\n", "guarantee", "B sees", "A sees",
+              "notes");
+  std::printf("%s\n", std::string(70, '-').c_str());
+
+  const struct {
+    const char* label;
+    ConsistencyLevel level;
+    const char* note;
+  } configs[] = {
+      {"eventual", ConsistencyLevel::kEventual, "stale reads allowed"},
+      {"session PCSI", ConsistencyLevel::kSessionPCSI, "read-your-writes"},
+      {"strong SI", ConsistencyLevel::kStrongSI, "everyone fresh"},
+  };
+
+  for (const auto& cfg : configs) {
+    ClusterOptions options;
+    options.replicas = 3;
+    options.drivers = 2;  // Session A = driver 0, session B = driver 1.
+    options.controller.mode = middleware::ReplicationMode::kMasterSlaveAsync;
+    options.controller.consistency = cfg.level;
+    options.controller.reads_on_master = false;  // Force slave reads.
+    options.replica.ship_interval = 300 * sim::kMillisecond;
+    Cluster cluster(options);
+    cluster.Setup({"CREATE TABLE accounts (id INT PRIMARY KEY, balance INT)",
+                   "INSERT INTO accounts VALUES (1, 100)"});
+    cluster.Start();
+
+    TxnResult w = Run(&cluster, 0,
+                      Write("UPDATE accounts SET balance = 777 WHERE id = 1"));
+    (void)w;
+    TxnResult rb = Run(&cluster, 1,
+                       Read("SELECT balance FROM accounts WHERE id = 1"));
+    TxnResult ra = Run(&cluster, 0,
+                       Read("SELECT balance FROM accounts WHERE id = 1"));
+    char b_cell[32], a_cell[32];
+    std::snprintf(b_cell, sizeof(b_cell), "%lld%s",
+                  static_cast<long long>(ReadBalance(rb)),
+                  ReadBalance(rb) == 100 ? " (stale)" : "");
+    std::snprintf(a_cell, sizeof(a_cell), "%lld%s",
+                  static_cast<long long>(ReadBalance(ra)),
+                  ReadBalance(ra) == 100 ? " (stale!)" : "");
+    std::printf("%-28s %-14s %-14s %-10s\n", cfg.label, b_cell, a_cell,
+                cfg.note);
+  }
+
+  // The write-skew anomaly: permitted by SI, forbidden by 1SR.
+  std::printf(
+      "\nwrite skew (the SI anomaly, §3.3): two txns each read both rows\n"
+      "and zero the other one. SI commits both; 1SR aborts one.\n\n");
+  for (bool serializable : {false, true}) {
+    ClusterOptions options;
+    options.replicas = 1;
+    options.engine.default_isolation =
+        serializable ? engine::IsolationLevel::kSerializable
+                     : engine::IsolationLevel::kSnapshot;
+    Cluster cluster(options);
+    cluster.Setup({"CREATE TABLE oncall (id INT PRIMARY KEY, on_duty INT)",
+                   "INSERT INTO oncall VALUES (1, 1), (2, 1)"});
+    cluster.Start();
+    engine::Rdbms* db = cluster.replica(0)->engine();
+    engine::SessionId s1 = db->Connect().value();
+    engine::SessionId s2 = db->Connect().value();
+    db->Execute(s1, "BEGIN");
+    db->Execute(s2, "BEGIN");
+    db->Execute(s1, "SELECT SUM(on_duty) FROM oncall");
+    db->Execute(s2, "SELECT SUM(on_duty) FROM oncall");
+    auto w1 = db->Execute(s1, "UPDATE oncall SET on_duty = 0 WHERE id = 1");
+    auto w2 = db->Execute(s2, "UPDATE oncall SET on_duty = 0 WHERE id = 2");
+    auto c1 = db->Execute(s1, "COMMIT");
+    auto c2 = db->Execute(s2, "COMMIT");
+    bool both = w1.ok() && w2.ok() && c1.ok() && c2.ok();
+    engine::SessionId check = db->Connect().value();
+    auto sum = db->Execute(check, "SELECT SUM(on_duty) FROM oncall");
+    std::printf("  %-13s both committed: %-3s  on-duty total now: %s\n",
+                serializable ? "serializable:" : "snapshot SI:",
+                both ? "yes" : "no",
+                sum.rows.empty() ? "?" : sum.rows[0][0].ToString().c_str());
+  }
+  std::printf(
+      "\nUnder SI nobody is on duty anymore — the write-skew anomaly. 1SR\n"
+      "(table-granularity 2PL here) prevents it at the cost of aborting\n"
+      "one transaction — the paper's performance/correctness trade (§3.3).\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Quickstart: stand up a replicated database (1 master + 2 slaves), run
+// SQL through the middleware, and watch reads spread while writes
+// replicate.
+//
+//   $ ./build/examples/quickstart
+//
+// Everything runs in a deterministic discrete-event simulation: "time"
+// below is simulated time, so the whole demo finishes in milliseconds of
+// wall clock.
+
+#include <cstdio>
+
+#include "middleware/cluster.h"
+
+using namespace replidb;
+using middleware::Cluster;
+using middleware::ClusterOptions;
+using middleware::TxnRequest;
+using middleware::TxnResult;
+
+namespace {
+
+/// Submits one transaction and pumps the simulator until it completes.
+TxnResult Run(Cluster* cluster, TxnRequest request) {
+  TxnResult out;
+  bool done = false;
+  cluster->driver()->Submit(std::move(request), [&](const TxnResult& r) {
+    out = r;
+    done = true;
+  });
+  while (!done) cluster->sim.RunFor(100 * sim::kMillisecond);
+  return out;
+}
+
+TxnRequest Sql(std::initializer_list<const char*> statements,
+               bool read_only = false) {
+  TxnRequest req;
+  for (const char* s : statements) req.statements.emplace_back(s);
+  req.read_only = read_only;
+  return req;
+}
+
+}  // namespace
+
+int main() {
+  // 1. A 3-replica cluster under asynchronous master-slave replication.
+  ClusterOptions options;
+  options.replicas = 3;
+  options.controller.mode = middleware::ReplicationMode::kMasterSlaveAsync;
+  options.controller.consistency = middleware::ConsistencyLevel::kSessionPCSI;
+  Cluster cluster(options);
+
+  // 2. Load the same schema + data on every replica, then start the
+  //    controller (failure detection, shipping subscriptions).
+  cluster.Setup({
+      "CREATE TABLE users (id INT PRIMARY KEY AUTO_INCREMENT, name TEXT, "
+      "points INT)",
+      "INSERT INTO users (name, points) VALUES ('ada', 10), ('grace', 20), "
+      "('edsger', 30)",
+  });
+  cluster.Start();
+
+  // 3. Writes go to the master and ship to the slaves asynchronously.
+  TxnResult w = Run(&cluster, Sql({
+                        "UPDATE users SET points = points + 5 WHERE id = 1",
+                        "INSERT INTO users (name, points) VALUES ('barbara', 40)",
+                    }));
+  std::printf("write txn: %s, committed at global version %llu\n",
+              w.status.ToString().c_str(),
+              static_cast<unsigned long long>(w.version));
+
+  // 4. Reads are load-balanced across replicas. Session consistency
+  //    guarantees this session sees its own write.
+  TxnResult r = Run(&cluster,
+                    Sql({"SELECT name, points FROM users ORDER BY id"},
+                        /*read_only=*/true));
+  std::printf("read txn: %s (%zu rows, %llu versions stale)\n",
+              r.status.ToString().c_str(), r.rows.size(),
+              static_cast<unsigned long long>(r.staleness));
+  for (const sql::Row& row : r.rows) {
+    std::printf("  %-10s %s\n", row[0].AsString().c_str(),
+                row[1].ToString().c_str());
+  }
+
+  // 5. Let the shipping drain, then verify every replica holds identical
+  //    data (content hashes).
+  cluster.sim.RunFor(2 * sim::kSecond);
+  std::printf("replicas converged: %s\n",
+              cluster.Converged() ? "yes" : "NO (bug!)");
+  for (int i = 0; i < 3; ++i) {
+    std::printf("  replica %d applied version %llu, content hash %016llx\n",
+                i + 1,
+                static_cast<unsigned long long>(
+                    cluster.replica(i)->applied_version()),
+                static_cast<unsigned long long>(
+                    cluster.replica(i)->engine()->ContentHash()));
+  }
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Figure 4: worldwide multi-way master/slave replication.
+//
+// Three sites (EU, US, Asia). Each site's cluster is master for its own
+// regional data and keeps an asynchronous disaster-recovery replica at the
+// next site. A regional user books locally at LAN latency; when an entire
+// site is lost, its traffic fails over to the DR copy across the ocean.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "client/driver.h"
+#include "middleware/controller.h"
+#include "middleware/replica_node.h"
+#include "workload/workloads.h"
+
+using namespace replidb;
+using middleware::Controller;
+using middleware::ControllerOptions;
+using middleware::ReplicaNode;
+using middleware::TxnRequest;
+using middleware::TxnResult;
+
+namespace {
+
+constexpr const char* kSites[] = {"EU", "US", "Asia"};
+
+TxnResult Run(sim::Simulator* s, client::Driver* driver, TxnRequest req) {
+  TxnResult out;
+  bool done = false;
+  driver->Submit(std::move(req), [&](const TxnResult& r) {
+    out = r;
+    done = true;
+  });
+  while (!done) s->RunFor(100 * sim::kMillisecond);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  sim::Simulator simulator;
+  net::NetworkOptions nopts;  // 0.2 ms LAN, 50 ms WAN one-way.
+  net::Network network(&simulator, nopts);
+
+  workload::TicketBrokerWorkload::Options wo;
+  wo.items = 500;
+  workload::TicketBrokerWorkload broker(wo);
+
+  std::vector<std::unique_ptr<ReplicaNode>> replicas;
+  std::vector<std::unique_ptr<Controller>> controllers;
+  std::vector<std::unique_ptr<client::Driver>> drivers;
+
+  for (int s = 0; s < 3; ++s) {
+    std::vector<ReplicaNode*> members;
+    for (int r = 0; r < 3; ++r) {
+      engine::RdbmsOptions eopts;
+      eopts.name = std::string(kSites[s]) + "-replica-" + std::to_string(r);
+      eopts.physical_seed = static_cast<uint64_t>(s * 10 + r + 1);
+      eopts.cost_model.base_us = 800;
+      eopts.cost_model.commit_us = 1500;
+      // Replica 2 of each site lives at the NEXT site: the DR copy.
+      net::SiteId site = (r == 2) ? (s + 1) % 3 : s;
+      auto node = std::make_unique<ReplicaNode>(&simulator, &network,
+                                                s * 10 + r + 1, eopts,
+                                                middleware::ReplicaOptions{},
+                                                site);
+      for (const std::string& stmt : broker.SetupStatements()) {
+        node->AdminExec(stmt);
+      }
+      members.push_back(node.get());
+      replicas.push_back(std::move(node));
+    }
+    ControllerOptions copts;
+    copts.mode = middleware::ReplicationMode::kMasterSlaveAsync;
+    copts.heartbeat.period = sim::kSecond;
+    copts.heartbeat.timeout = 900 * sim::kMillisecond;
+    copts.request_timeout = 5 * sim::kSecond;
+    auto controller = std::make_unique<Controller>(&simulator, &network,
+                                                   100 + s, members, copts,
+                                                   /*site=*/s);
+    controller->Start();
+    controllers.push_back(std::move(controller));
+    drivers.push_back(std::make_unique<client::Driver>(
+        &simulator, &network, 200 + s, std::vector<net::NodeId>{100 + s},
+        client::DriverOptions{}, /*site=*/s));
+  }
+  simulator.RunFor(2 * sim::kSecond);
+
+  std::printf("three sites, each master for its region, DR copy one site over\n\n");
+
+  // Regional bookings commit at local latency.
+  for (int s = 0; s < 3; ++s) {
+    TxnRequest booking;
+    booking.statements = {
+        "INSERT INTO bookings (agent, item, qty) VALUES (1, 10, 2)",
+        "UPDATE inventory SET stock = stock - 2 WHERE item = 10"};
+    TxnResult r = Run(&simulator, drivers[s].get(), booking);
+    std::printf("%-5s booking: %-3s  latency %.2f ms (local commit)\n",
+                kSites[s], r.status.ok() ? "ok" : "ERR",
+                sim::ToMillis(r.latency));
+  }
+
+  // Disaster: the EU site floods. Both EU-local replicas are gone; the
+  // EU controller survives (hosted off-site, say) and fails over to the
+  // DR copy in the US.
+  std::printf("\n[t=%.1fs] EU site lost (both local replicas)\n",
+              sim::ToSeconds(simulator.Now()));
+  replicas[0]->Crash();
+  replicas[1]->Crash();
+  simulator.RunFor(10 * sim::kSecond);
+  std::printf("EU controller's new master: node %d (the US-hosted DR copy)\n",
+              controllers[0]->master());
+  std::printf("EU transactions lost in the async window: %llu\n",
+              static_cast<unsigned long long>(
+                  controllers[0]->stats().lost_transactions));
+
+  TxnRequest booking;
+  booking.statements = {
+      "INSERT INTO bookings (agent, item, qty) VALUES (2, 20, 1)",
+      "UPDATE inventory SET stock = stock - 1 WHERE item = 20"};
+  TxnResult r = Run(&simulator, drivers[0].get(), booking);
+  std::printf("EU booking after disaster: %-3s  latency %.2f ms "
+              "(now a WAN round trip)\n",
+              r.status.ok() ? "ok" : "ERR", sim::ToMillis(r.latency));
+  std::printf(
+      "\nRegional masters keep writes local; the DR copy turns a site\n"
+      "disaster into a latency regression instead of an outage (Figure 4,\n"
+      "§2.2). Synchronous WAN replication would put that 100 ms on every\n"
+      "commit instead (§4.3.4.1).\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+#include "client/connection_pool.h"
+
+#include <algorithm>
+
+namespace replidb::client {
+
+ConnectionPool::ConnectionPool(sim::Simulator* sim,
+                               std::vector<net::NodeId> endpoints,
+                               Options options)
+    : sim_(sim), options_(options), rng_(options.seed),
+      all_(endpoints), live_(std::move(endpoints)) {
+  connections_.resize(static_cast<size_t>(options_.size));
+  for (Connection& c : connections_) Reopen(&c);
+  reconnects_ = 0;  // Initial opens are not "reconnects".
+}
+
+net::NodeId ConnectionPool::PickEndpoint() {
+  if (live_.empty()) return -1;
+  return live_[rr_++ % live_.size()];
+}
+
+void ConnectionPool::Reopen(Connection* conn) {
+  conn->endpoint = PickEndpoint();
+  conn->opened_at = sim_->Now();
+  ++reconnects_;
+}
+
+net::NodeId ConnectionPool::Acquire() {
+  Connection& conn = connections_[next_++ % connections_.size()];
+  if (conn.endpoint < 0 ||
+      std::find(live_.begin(), live_.end(), conn.endpoint) == live_.end()) {
+    Reopen(&conn);
+  } else if (options_.recycle_after > 0 &&
+             sim_->Now() - conn.opened_at >= options_.recycle_after) {
+    // Aggressive recycling: pay a reconnect to pick up topology changes.
+    Reopen(&conn);
+  }
+  return conn.endpoint;
+}
+
+void ConnectionPool::MarkFailed(net::NodeId endpoint) {
+  live_.erase(std::remove(live_.begin(), live_.end(), endpoint), live_.end());
+  for (Connection& c : connections_) {
+    if (c.endpoint == endpoint) Reopen(&c);
+  }
+}
+
+void ConnectionPool::MarkRecovered(net::NodeId endpoint) {
+  if (std::find(all_.begin(), all_.end(), endpoint) == all_.end()) return;
+  if (std::find(live_.begin(), live_.end(), endpoint) == live_.end()) {
+    live_.push_back(endpoint);
+    std::sort(live_.begin(), live_.end());
+  }
+  // Deliberately nothing else: existing pins stay (§4.3.3). Only
+  // recycling or new connections will ever use the recovered endpoint.
+}
+
+std::map<net::NodeId, int> ConnectionPool::Distribution() const {
+  std::map<net::NodeId, int> dist;
+  for (net::NodeId e : live_) dist[e] = 0;
+  for (const Connection& c : connections_) {
+    if (dist.count(c.endpoint)) dist[c.endpoint]++;
+  }
+  return dist;
+}
+
+double ConnectionPool::Imbalance() const {
+  std::map<net::NodeId, int> dist = Distribution();
+  if (dist.empty()) return 0.0;
+  int max_pins = 0;
+  for (const auto& [e, n] : dist) {
+    (void)e;
+    max_pins = std::max(max_pins, n);
+  }
+  double ideal = static_cast<double>(connections_.size()) /
+                 static_cast<double>(dist.size());
+  return ideal > 0 ? static_cast<double>(max_pins) / ideal : 0.0;
+}
+
+}  // namespace replidb::client

@@ -1,0 +1,64 @@
+#ifndef REPLIDB_COMMON_HISTOGRAM_H_
+#define REPLIDB_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace replidb {
+
+/// \brief Latency/size histogram with percentile queries.
+///
+/// Stores raw samples (experiments here are small enough) so percentiles are
+/// exact; used by the metrics layer for latency reporting in all benches.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void Add(double v) {
+    samples_.push_back(v);
+    sum_ += v;
+    sorted_ = false;
+  }
+
+  size_t count() const { return samples_.size(); }
+  double sum() const { return sum_; }
+  double Mean() const { return samples_.empty() ? 0.0 : sum_ / samples_.size(); }
+  double Min() const;
+  double Max() const;
+
+  /// Exact percentile in [0, 100]; 0 if empty.
+  double Percentile(double p) const;
+
+  double Median() const { return Percentile(50.0); }
+  double P95() const { return Percentile(95.0); }
+  double P99() const { return Percentile(99.0); }
+
+  /// Appends all samples from `other`.
+  void Merge(const Histogram& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sum_ += other.sum_;
+    sorted_ = false;
+  }
+
+  void Clear() {
+    samples_.clear();
+    sum_ = 0.0;
+    sorted_ = false;
+  }
+
+  /// One-line summary: "n=... mean=... p50=... p95=... p99=... max=...".
+  std::string Summary() const;
+
+ private:
+  void Sort() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  double sum_ = 0.0;
+};
+
+}  // namespace replidb
+
+#endif  // REPLIDB_COMMON_HISTOGRAM_H_

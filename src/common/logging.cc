@@ -1,0 +1,33 @@
+#include "common/logging.h"
+
+namespace replidb {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+void LogLine(LogLevel level, const std::string& msg) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), msg.c_str());
+}
+
+}  // namespace replidb

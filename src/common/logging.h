@@ -1,0 +1,47 @@
+#ifndef REPLIDB_COMMON_LOGGING_H_
+#define REPLIDB_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace replidb {
+
+/// \brief Minimal leveled logger. Experiments run quiet by default; tests
+/// and examples can raise verbosity with SetLogLevel.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits a line to stderr if `level` is at or above the global threshold.
+void LogLine(LogLevel level, const std::string& msg);
+
+namespace log_internal {
+struct Emitter {
+  explicit Emitter(LogLevel level) : level(level) {}
+  ~Emitter() { LogLine(level, stream.str()); }
+  LogLevel level;
+  std::ostringstream stream;
+};
+}  // namespace log_internal
+
+#define REPLIDB_LOG(level_suffix)                                        \
+  if (::replidb::GetLogLevel() > ::replidb::LogLevel::k##level_suffix) { \
+  } else                                                                 \
+    ::replidb::log_internal::Emitter(::replidb::LogLevel::k##level_suffix).stream
+
+/// Fatal invariant check: always on, aborts with a message.
+#define REPLIDB_CHECK(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,  \
+                   __LINE__, #cond, msg);                                 \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+}  // namespace replidb
+
+#endif  // REPLIDB_COMMON_LOGGING_H_

@@ -1,0 +1,67 @@
+#ifndef REPLIDB_COMMON_RESULT_H_
+#define REPLIDB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace replidb {
+
+/// \brief Value-or-Status result, the return type of fallible producers.
+///
+/// Usage:
+/// \code
+///   Result<Row> r = table.Get(key);
+///   if (!r.ok()) return r.status();
+///   Use(r.value());
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return some_value;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from a non-OK status: allows `return Status::NotFound(...);`.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+
+  /// Moves the held value out; the Result must be OK.
+  T TakeValue() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value or a fallback when the result is an error.
+  T ValueOr(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status from an expression, RocksDB-macro style.
+#define REPLIDB_RETURN_NOT_OK(expr)                \
+  do {                                             \
+    ::replidb::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+}  // namespace replidb
+
+#endif  // REPLIDB_COMMON_RESULT_H_

@@ -1,0 +1,66 @@
+#ifndef REPLIDB_COMMON_RNG_H_
+#define REPLIDB_COMMON_RNG_H_
+
+#include <cstdint>
+#include <cmath>
+
+namespace replidb {
+
+/// \brief Deterministic splitmix64/xorshift RNG used everywhere randomness
+/// is needed, so that every experiment is reproducible from its seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+
+  /// Next raw 64-bit value (splitmix64).
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Exponentially distributed value with the given mean (inter-arrival
+  /// times of Poisson processes: request arrivals, failures).
+  double Exponential(double mean) {
+    double u = NextDouble();
+    if (u <= 0.0) u = 1e-12;
+    return -mean * std::log(u);
+  }
+
+  /// Zipf-like skewed pick in [0, n): rank r chosen with weight 1/(r+1)^theta.
+  /// Uses a cheap inverse-power approximation adequate for workload skew.
+  uint64_t Zipf(uint64_t n, double theta) {
+    if (n <= 1) return 0;
+    double u = NextDouble();
+    double r = std::pow(u, 1.0 / (1.0 - theta));  // theta in (0,1)
+    uint64_t idx = static_cast<uint64_t>(r * static_cast<double>(n));
+    return idx >= n ? n - 1 : idx;
+  }
+
+  /// Forks a new independent generator (for per-component streams).
+  Rng Fork() { return Rng(Next()); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace replidb
+
+#endif  // REPLIDB_COMMON_RNG_H_

@@ -1,0 +1,108 @@
+#ifndef REPLIDB_COMMON_STATUS_H_
+#define REPLIDB_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace replidb {
+
+/// \brief Error/result code carried by Status and Result<T>.
+///
+/// Codes mirror the failure classes the paper discusses: SQL errors,
+/// transactional aborts (certification conflicts, deadlocks), availability
+/// failures (node down, timeout, no quorum) and management errors.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Malformed request or SQL.
+  kNotFound,          ///< Missing table/database/row/replica.
+  kAlreadyExists,     ///< Duplicate name or key.
+  kConstraintViolation,  ///< Integrity constraint (unique/PK) violated.
+  kAborted,           ///< Transaction aborted (certification, error policy).
+  kDeadlock,          ///< Lock-manager deadlock victim.
+  kConflict,          ///< Write-write conflict under snapshot isolation.
+  kUnavailable,       ///< Replica/middleware down or failed over mid-call.
+  kTimeout,           ///< Network or detection timeout expired.
+  kNoQuorum,          ///< Partition left this side without a majority.
+  kDiskFull,          ///< Injected resource-exhaustion failure.
+  kNotSupported,      ///< Feature missing in this engine dialect.
+  kInternal,          ///< Invariant violation inside the stack.
+};
+
+/// \brief Human-readable name of a status code (e.g. "Aborted").
+const char* StatusCodeName(StatusCode code);
+
+/// \brief RocksDB-style status object returned by fallible operations.
+///
+/// The library does not throw on hot paths; every operation that can fail
+/// returns a Status (or a Result<T>, which wraps one).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Deadlock(std::string msg) {
+    return Status(StatusCode::kDeadlock, std::move(msg));
+  }
+  static Status Conflict(std::string msg) {
+    return Status(StatusCode::kConflict, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status NoQuorum(std::string msg) {
+    return Status(StatusCode::kNoQuorum, std::move(msg));
+  }
+  static Status DiskFull(std::string msg) {
+    return Status(StatusCode::kDiskFull, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// True if the failure is a transaction-level abort that the client may
+  /// retry (certification conflict, deadlock, explicit abort).
+  bool IsRetryableAbort() const {
+    return code_ == StatusCode::kAborted || code_ == StatusCode::kDeadlock ||
+           code_ == StatusCode::kConflict;
+  }
+
+  /// Formats as "CodeName: message" (or "OK").
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace replidb
+
+#endif  // REPLIDB_COMMON_STATUS_H_

@@ -1,0 +1,131 @@
+#ifndef REPLIDB_ENGINE_OPTIONS_H_
+#define REPLIDB_ENGINE_OPTIONS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "engine/types.h"
+
+namespace replidb::engine {
+
+/// \brief Per-engine behaviour profile modelling the RDBMS differences the
+/// paper catalogues in §4.1–§4.2. Two canned profiles (PostgresLike,
+/// MysqlLike) reproduce the divergent behaviours called out in the text.
+struct DialectProfile {
+  std::string name = "generic";
+
+  /// §4.1.2: "PostgreSQL aborts a transaction as soon as an error occurs,
+  /// whereas MySQL continues the transaction."
+  bool abort_txn_on_error = true;
+
+  /// §4.1.2: Sybase/MySQL do not provide snapshot isolation. Requests for
+  /// kSnapshot fall back to kReadCommitted when false.
+  bool supports_snapshot_isolation = true;
+
+  /// §4.1.4: Sybase "does not authorize the use of temporary tables within
+  /// transactions."
+  bool temp_tables_in_transactions = true;
+
+  /// §4.1.4: some engines drop temporary tables at COMMIT instead of at
+  /// disconnect.
+  bool temp_tables_dropped_on_commit = false;
+
+  /// §4.1.1: MySQL "does not support the notion of schema"; we model the
+  /// analogous limitation as refusing CREATE DATABASE beyond the default.
+  bool supports_multiple_databases = true;
+
+  static DialectProfile PostgresLike() {
+    DialectProfile p;
+    p.name = "postgres-like";
+    p.abort_txn_on_error = true;
+    p.supports_snapshot_isolation = true;
+    p.temp_tables_in_transactions = true;
+    p.supports_multiple_databases = true;
+    return p;
+  }
+
+  static DialectProfile MysqlLike() {
+    DialectProfile p;
+    p.name = "mysql-like";
+    p.abort_txn_on_error = false;
+    p.supports_snapshot_isolation = false;
+    p.temp_tables_in_transactions = true;
+    p.supports_multiple_databases = false;
+    return p;
+  }
+
+  static DialectProfile SybaseLike() {
+    DialectProfile p;
+    p.name = "sybase-like";
+    p.abort_txn_on_error = false;
+    p.supports_snapshot_isolation = false;
+    p.temp_tables_in_transactions = false;
+    return p;
+  }
+};
+
+/// \brief Service-time model: converts ExecStats into simulated
+/// microseconds of database work. The replica wrapper in the middleware
+/// charges this against the replica's worker capacity, which is where
+/// saturation and queueing delays come from.
+struct CostModel {
+  double base_us = 80;            ///< Fixed per-statement cost.
+  double per_row_scanned_us = 0.4;
+  double per_row_written_us = 6.0;
+  double commit_us = 120;         ///< Durable commit (log flush).
+  double begin_us = 5;
+  /// §4.3.2: trigger-based writeset extraction overhead per written row.
+  double writeset_trigger_us_per_row = 10.0;
+
+  /// Cost of one statement's execution.
+  int64_t StatementCost(const ExecStats& stats,
+                        bool writeset_extraction_enabled) const {
+    double us = base_us + per_row_scanned_us * stats.rows_scanned +
+                per_row_written_us * stats.rows_written;
+    if (writeset_extraction_enabled) {
+      us += writeset_trigger_us_per_row * stats.rows_written;
+    }
+    return static_cast<int64_t>(us);
+  }
+};
+
+/// \brief Options for constructing an Rdbms instance.
+struct RdbmsOptions {
+  std::string name = "db";
+  DialectProfile dialect;
+  CostModel cost_model;
+
+  /// Seed that decides the "physical" row order of unordered scans. Giving
+  /// replicas different seeds reproduces the paper's LIMIT-without-ORDER-BY
+  /// divergence (different page layout on each replica).
+  uint64_t physical_seed = 1;
+
+  /// Seed for this engine's RAND() implementation (deliberately local to
+  /// the replica — the whole point of §4.3.2).
+  uint64_t rand_seed = 1;
+
+  /// Wall-clock source for NOW(); typically bound to the simulator clock.
+  /// Each replica can be skewed to model unsynchronized clocks.
+  std::function<int64_t()> clock = [] { return int64_t{0}; };
+
+  /// Default isolation level for new sessions.
+  IsolationLevel default_isolation = IsolationLevel::kReadCommitted;
+
+  /// Whether to also record statement texts in the binlog (needed for
+  /// statement-based replication and the Sequoia-style recovery log).
+  bool binlog_statements = true;
+
+  /// Whether to capture row writesets (transaction replication). When
+  /// modelled as trigger-based, extraction adds per-row cost.
+  bool capture_writesets = true;
+  bool writesets_via_triggers = false;
+
+  /// If true, the engine requires authentication against its user catalog
+  /// (§4.1.5); a restored backup without metadata loses the catalog.
+  bool enforce_authentication = false;
+};
+
+}  // namespace replidb::engine
+
+#endif  // REPLIDB_ENGINE_OPTIONS_H_

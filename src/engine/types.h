@@ -1,0 +1,111 @@
+#ifndef REPLIDB_ENGINE_TYPES_H_
+#define REPLIDB_ENGINE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/value.h"
+
+namespace replidb::engine {
+
+/// Physical row identifier inside one table (insertion order counter).
+using RowId = uint64_t;
+/// Transaction identifier, unique per Rdbms instance.
+using TxnId = uint64_t;
+/// Session (connection) identifier.
+using SessionId = uint64_t;
+/// Commit sequence number: the engine's logical commit clock.
+using CommitSeq = uint64_t;
+
+/// Transaction isolation levels the engine dialect supports (§4.1.2).
+enum class IsolationLevel {
+  kReadCommitted,   ///< Default everywhere in production, per the paper.
+  kSnapshot,        ///< SI: per-transaction snapshot, first-updater-wins.
+  kSerializable,    ///< 1SR via no-wait table-granularity 2PL (the coarse
+                    ///< locking the paper says middleware is stuck with).
+};
+
+const char* IsolationLevelName(IsolationLevel level);
+
+/// \brief Execution counters used by the cost model and by benches.
+struct ExecStats {
+  uint64_t rows_scanned = 0;
+  uint64_t rows_returned = 0;
+  uint64_t rows_written = 0;   // Inserts + updates + deletes.
+  uint64_t bytes_processed = 0;
+  bool used_index = false;
+
+  void Merge(const ExecStats& o) {
+    rows_scanned += o.rows_scanned;
+    rows_returned += o.rows_returned;
+    rows_written += o.rows_written;
+    bytes_processed += o.bytes_processed;
+    used_index = used_index || o.used_index;
+  }
+};
+
+/// \brief Result of executing one statement.
+struct ExecResult {
+  Status status;
+  std::vector<std::string> columns;  ///< SELECT column labels.
+  std::vector<sql::Row> rows;        ///< SELECT result rows.
+  int64_t affected = 0;              ///< Rows written by DML.
+  ExecStats stats;
+  int64_t cost_us = 0;  ///< Simulated service time per the engine CostModel.
+
+  bool ok() const { return status.ok(); }
+};
+
+/// Kind of a single writeset operation.
+enum class WriteOpKind { kInsert, kUpdate, kDelete };
+
+/// \brief One row-level change captured for transaction (writeset-based)
+/// replication. Identified by primary key so it can be applied on any
+/// replica regardless of physical row ids.
+struct WriteOp {
+  WriteOpKind kind = WriteOpKind::kInsert;
+  std::string database;
+  std::string table;
+  sql::Value primary_key;      ///< PK value of the affected row (post-image
+                               ///< for inserts, pre-image for delete/update).
+  sql::Row after;              ///< Full row after the change; empty for delete.
+};
+
+/// \brief The writeset of a transaction: the set of data W updated by T such
+/// that applying W to a replica is equivalent to executing T on it
+/// (paper footnote 2) — *except* for what trigger-based extraction misses:
+/// auto-increment counters and sequence values (§4.3.2), which is exactly
+/// the divergence the benches demonstrate.
+struct Writeset {
+  std::vector<WriteOp> ops;
+
+  /// True when some change could not be keyed (table without a primary
+  /// key): the writeset cannot faithfully be applied elsewhere, so
+  /// transaction replication must degrade or refuse.
+  bool incomplete = false;
+
+  bool empty() const { return ops.empty(); }
+
+  /// Conflict keys for SI certification: "db.table/pk" strings.
+  std::vector<std::string> ConflictKeys() const;
+
+  /// Approximate wire size in bytes (for network cost).
+  int64_t SizeBytes() const;
+};
+
+/// \brief One committed transaction in the binlog / recovery log.
+struct BinlogEntry {
+  CommitSeq commit_seq = 0;
+  TxnId txn = 0;
+  std::vector<std::string> statements;  ///< SQL texts (statement replication).
+  Writeset writeset;                    ///< Row images (transaction replication).
+  std::string session_user;             ///< Who ran it (§4.1.5 replay identity).
+  int64_t commit_time_micros = 0;
+};
+
+}  // namespace replidb::engine
+
+#endif  // REPLIDB_ENGINE_TYPES_H_

@@ -1,0 +1,65 @@
+#include "faults/fault_injector.h"
+
+namespace replidb::faults {
+
+FaultInjector::FaultInjector(sim::Simulator* sim, Options options)
+    : sim_(sim), options_(options), rng_(options.seed) {}
+
+void FaultInjector::ScheduleCrashLoop(
+    std::vector<middleware::ReplicaNode*> replicas, sim::TimePoint horizon) {
+  for (middleware::ReplicaNode* r : replicas) ArmNext(r, horizon);
+}
+
+void FaultInjector::ArmNext(middleware::ReplicaNode* replica,
+                            sim::TimePoint horizon) {
+  sim::Duration to_failure = static_cast<sim::Duration>(
+      rng_.Exponential(static_cast<double>(options_.node_mttf)));
+  sim::TimePoint fail_at = sim_->Now() + to_failure;
+  if (fail_at >= horizon) return;
+  sim_->ScheduleAt(fail_at, [this, replica, horizon] {
+    if (replica->crashed()) {
+      ArmNext(replica, horizon);
+      return;
+    }
+    ++crashes_;
+    replica->Crash();
+    sim::Duration repair = static_cast<sim::Duration>(
+        rng_.Exponential(static_cast<double>(options_.node_mttr)));
+    if (repair < sim::kSecond) repair = sim::kSecond;
+    sim_->Schedule(repair, [this, replica, horizon] {
+      replica->Restart();
+      ArmNext(replica, horizon);
+    });
+  });
+}
+
+void FaultInjector::CrashAt(middleware::ReplicaNode* replica,
+                            sim::TimePoint when, sim::Duration repair) {
+  sim_->ScheduleAt(when, [this, replica, repair] {
+    ++crashes_;
+    replica->Crash();
+    if (repair >= 0) {
+      sim_->Schedule(repair, [replica] { replica->Restart(); });
+    }
+  });
+}
+
+void FaultInjector::DiskFullAt(middleware::ReplicaNode* replica,
+                               sim::TimePoint when, sim::Duration duration) {
+  sim_->ScheduleAt(when, [this, replica, duration] {
+    replica->engine()->set_disk_full(true);
+    sim_->Schedule(duration,
+                   [replica] { replica->engine()->set_disk_full(false); });
+  });
+}
+
+void FaultInjector::PartitionAt(net::Network* network,
+                                std::vector<std::vector<net::NodeId>> groups,
+                                sim::TimePoint when, sim::Duration duration) {
+  sim_->ScheduleAt(when, [this, network, groups, duration] {
+    network->Partition(groups);
+    sim_->Schedule(duration, [network] { network->HealPartition(); });
+  });
+}
+
+}  // namespace replidb::faults

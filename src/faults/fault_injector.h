@@ -1,0 +1,65 @@
+#ifndef REPLIDB_FAULTS_FAULT_INJECTOR_H_
+#define REPLIDB_FAULTS_FAULT_INJECTOR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "middleware/replica_node.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace replidb::faults {
+
+/// \brief Schedules faults against a cluster, calibrated to the paper's
+/// field observation: "on average, one fatal failure (software or
+/// hardware) occurs per day per 200 processors" (§2.2).
+class FaultInjector {
+ public:
+  struct Options {
+    /// Mean time to failure per node. The paper's rate, scaled to a node
+    /// of `cpus_per_node` CPUs: MTTF = 200 days / cpus. Defaults model
+    /// 8-CPU nodes => one fatal failure per node every 25 days.
+    sim::Duration node_mttf = 25 * sim::kDay;
+    /// Mean repair time once a node fails (restart + operator response).
+    sim::Duration node_mttr = 10 * sim::kMinute;
+    uint64_t seed = 99;
+  };
+
+  explicit FaultInjector(sim::Simulator* sim) : FaultInjector(sim, Options{}) {}
+  FaultInjector(sim::Simulator* sim, Options options);
+
+  /// Starts a crash/repair process on each replica until `horizon`. Each
+  /// node independently fails with exponential inter-failure times and is
+  /// restarted after an exponential repair time.
+  void ScheduleCrashLoop(std::vector<middleware::ReplicaNode*> replicas,
+                         sim::TimePoint horizon);
+
+  /// One-shot crash of a replica at time `when`, repaired after `repair`
+  /// (no repair if repair < 0).
+  void CrashAt(middleware::ReplicaNode* replica, sim::TimePoint when,
+               sim::Duration repair = -1);
+
+  /// Marks a replica's disk full at `when`, cleared after `duration`.
+  void DiskFullAt(middleware::ReplicaNode* replica, sim::TimePoint when,
+                  sim::Duration duration);
+
+  /// Partitions the network into the given groups at `when`, healed after
+  /// `duration`.
+  void PartitionAt(net::Network* network,
+                   std::vector<std::vector<net::NodeId>> groups,
+                   sim::TimePoint when, sim::Duration duration);
+
+  int crashes_injected() const { return crashes_; }
+
+ private:
+  void ArmNext(middleware::ReplicaNode* replica, sim::TimePoint horizon);
+
+  sim::Simulator* sim_;
+  Options options_;
+  Rng rng_;
+  int crashes_ = 0;
+};
+
+}  // namespace replidb::faults
+
+#endif  // REPLIDB_FAULTS_FAULT_INJECTOR_H_

@@ -1,0 +1,71 @@
+#include "metrics/availability.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace replidb::metrics {
+
+void AvailabilityTracker::MarkDown(sim::TimePoint t) {
+  if (!up_) return;
+  up_ = false;
+  last_transition_ = t;
+  ++outages_;
+}
+
+void AvailabilityTracker::MarkUp(sim::TimePoint t) {
+  if (up_) return;
+  up_ = true;
+  sim::Duration down = t - last_transition_;
+  total_down_ += down;
+  completed_down_ += down;
+  ++completed_outages_;
+  last_transition_ = t;
+}
+
+sim::Duration AvailabilityTracker::Downtime(sim::TimePoint end) const {
+  sim::Duration down = total_down_;
+  if (!up_ && end > last_transition_) down += end - last_transition_;
+  return down;
+}
+
+sim::Duration AvailabilityTracker::Uptime(sim::TimePoint end) const {
+  return (end - period_start_) - Downtime(end);
+}
+
+double AvailabilityTracker::Availability(sim::TimePoint end) const {
+  sim::Duration total = end - period_start_;
+  if (total <= 0) return 1.0;
+  return static_cast<double>(Uptime(end)) / static_cast<double>(total);
+}
+
+double AvailabilityTracker::Nines(sim::TimePoint end) const {
+  double a = Availability(end);
+  if (a >= 1.0) return 9.0;
+  if (a <= 0.0) return 0.0;
+  return std::min(9.0, -std::log10(1.0 - a));
+}
+
+double AvailabilityTracker::MttrMicros() const {
+  if (completed_outages_ == 0) return 0.0;
+  return static_cast<double>(completed_down_) / completed_outages_;
+}
+
+double AvailabilityTracker::MttfMicros(sim::TimePoint end) const {
+  if (outages_ == 0) return static_cast<double>(end - period_start_);
+  return static_cast<double>(Uptime(end)) / outages_;
+}
+
+std::string AvailabilityTracker::Summary(sim::TimePoint end) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "availability=%.6f (%.2f nines) outages=%d mttr=%.1fs "
+                "mttf=%.1fs downtime=%.1fs",
+                Availability(end), Nines(end), outages_,
+                MttrMicros() / sim::kSecond,
+                MttfMicros(end) / sim::kSecond,
+                sim::ToSeconds(Downtime(end)));
+  return buf;
+}
+
+}  // namespace replidb::metrics

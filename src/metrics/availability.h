@@ -1,0 +1,58 @@
+#ifndef REPLIDB_METRICS_AVAILABILITY_H_
+#define REPLIDB_METRICS_AVAILABILITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace replidb::metrics {
+
+/// \brief Tracks service up/down intervals and derives the availability
+/// metrics the paper says evaluations should report (§3.4, §5.1):
+/// MTTF, MTTR, availability = MTTF / (MTTF + MTTR), and "nines".
+class AvailabilityTracker {
+ public:
+  /// The service starts up at t = start.
+  explicit AvailabilityTracker(sim::TimePoint start = 0) : period_start_(start) {}
+
+  /// Marks the service down at `t` (no-op if already down).
+  void MarkDown(sim::TimePoint t);
+  /// Marks the service back up at `t` (no-op if already up).
+  void MarkUp(sim::TimePoint t);
+
+  bool IsUp() const { return up_; }
+
+  /// Total downtime accumulated in [start, end].
+  sim::Duration Downtime(sim::TimePoint end) const;
+  /// Uptime in [start, end].
+  sim::Duration Uptime(sim::TimePoint end) const;
+  /// Availability ratio in [0, 1].
+  double Availability(sim::TimePoint end) const;
+  /// Number of nines, e.g. 0.99999 -> 5.0 (capped at 9).
+  double Nines(sim::TimePoint end) const;
+
+  /// Number of distinct outages so far.
+  int outages() const { return outages_; }
+  /// Mean time to repair: mean length of completed outages (µs); 0 if none.
+  double MttrMicros() const;
+  /// Mean time to failure: mean up-interval before each outage (µs).
+  double MttfMicros(sim::TimePoint end) const;
+
+  /// One-line report.
+  std::string Summary(sim::TimePoint end) const;
+
+ private:
+  sim::TimePoint period_start_;
+  bool up_ = true;
+  sim::TimePoint last_transition_ = 0;
+  sim::Duration total_down_ = 0;
+  sim::Duration completed_down_ = 0;
+  int outages_ = 0;
+  int completed_outages_ = 0;
+};
+
+}  // namespace replidb::metrics
+
+#endif  // REPLIDB_METRICS_AVAILABILITY_H_

@@ -1,0 +1,34 @@
+#ifndef REPLIDB_METRICS_REPORT_H_
+#define REPLIDB_METRICS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace replidb::metrics {
+
+/// \brief Fixed-width table printer used by every bench binary so that
+/// experiment outputs all read alike (paper-style rows and series).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 1);
+  static std::string Int(int64_t v);
+
+  /// Prints "== title ==", the header, a rule, and all rows to stdout.
+  void Print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a one-line section banner to stdout.
+void Banner(const std::string& text);
+
+}  // namespace replidb::metrics
+
+#endif  // REPLIDB_METRICS_REPORT_H_

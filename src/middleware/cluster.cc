@@ -1,0 +1,67 @@
+#include "middleware/cluster.h"
+
+#include <set>
+
+#include "common/logging.h"
+
+namespace replidb::middleware {
+
+Cluster::Cluster(ClusterOptions opts) : options(std::move(opts)) {
+  network = std::make_unique<net::Network>(&sim, options.network);
+
+  std::vector<ReplicaNode*> replica_ptrs;
+  for (int i = 0; i < options.replicas; ++i) {
+    engine::RdbmsOptions eopts = options.engine;
+    eopts.name = "replica-" + std::to_string(i + 1);
+    eopts.physical_seed = 1000 + static_cast<uint64_t>(i);
+    eopts.rand_seed = 2000 + static_cast<uint64_t>(i);
+    int64_t skew = options.clock_skew_per_replica * i;
+    sim::Simulator* s = &sim;
+    eopts.clock = [s, skew] { return s->Now() + skew; };
+    ReplicaOptions ropts = options.replica;
+    if (static_cast<size_t>(i) < options.per_replica_capacity.size()) {
+      ropts.capacity = options.per_replica_capacity[static_cast<size_t>(i)];
+    }
+    auto node = std::make_unique<ReplicaNode>(&sim, network.get(), i + 1,
+                                              eopts, ropts);
+    replica_ptrs.push_back(node.get());
+    replicas.push_back(std::move(node));
+  }
+
+  controller = std::make_unique<Controller>(&sim, network.get(), 100,
+                                            replica_ptrs, options.controller);
+
+  for (int i = 0; i < options.drivers; ++i) {
+    drivers.push_back(std::make_unique<client::Driver>(
+        &sim, network.get(), 200 + i,
+        std::vector<net::NodeId>{controller->id()}, options.driver));
+  }
+}
+
+void Cluster::Setup(const std::vector<std::string>& statements) {
+  for (auto& r : replicas) {
+    for (const std::string& stmt : statements) {
+      engine::ExecResult res = r->AdminExec(stmt);
+      REPLIDB_CHECK(res.ok(), ("setup failed: " + res.status.ToString() +
+                               " for " + stmt).c_str());
+    }
+  }
+}
+
+bool Cluster::Converged() const { return DistinctContents() <= 1; }
+
+int Cluster::DistinctContents() const {
+  std::set<uint64_t> hashes;
+  for (const auto& r : replicas) {
+    if (!r->crashed()) hashes.insert(r->engine()->ContentHash());
+  }
+  return static_cast<int>(hashes.size());
+}
+
+uint64_t Cluster::TotalApplyErrors() const {
+  uint64_t n = 0;
+  for (const auto& r : replicas) n += r->apply_errors();
+  return n;
+}
+
+}  // namespace replidb::middleware

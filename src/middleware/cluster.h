@@ -1,0 +1,70 @@
+#ifndef REPLIDB_MIDDLEWARE_CLUSTER_H_
+#define REPLIDB_MIDDLEWARE_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/driver.h"
+#include "middleware/controller.h"
+#include "middleware/replica_node.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace replidb::middleware {
+
+/// \brief Everything needed to stand up one replicated-database deployment:
+/// simulator, network, N replicas, one controller, M client drivers.
+/// Shared by tests, benches, and examples. Node ids: replicas are 1..N,
+/// the controller is 100, drivers are 200, 201, ...
+struct ClusterOptions {
+  int replicas = 3;
+  int drivers = 1;
+  ReplicaOptions replica;
+  ControllerOptions controller;
+  net::NetworkOptions network;
+  client::DriverOptions driver;
+  /// Engine template; per-replica name/physical_seed/rand_seed derive from
+  /// the replica index so replicas are realistically non-identical.
+  engine::RdbmsOptions engine;
+  /// Clock skew injected per replica (µs, multiplied by index) — feeds the
+  /// NOW() divergence experiments.
+  int64_t clock_skew_per_replica = 0;
+  /// Optional per-replica worker-capacity override (heterogeneous
+  /// clusters, §4.1.3). Empty = uniform `replica.capacity`.
+  std::vector<int> per_replica_capacity;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions options);
+
+  /// Runs the setup statements identically on every replica (initial
+  /// load), then baselines replication state. Call before traffic.
+  void Setup(const std::vector<std::string>& statements);
+
+  /// Finishes wiring (Controller::Start).
+  void Start() { controller->Start(); }
+
+  /// True if all *up* replicas hold identical committed data.
+  bool Converged() const;
+  /// Number of distinct content hashes among up replicas (1 = converged).
+  int DistinctContents() const;
+
+  /// Total apply-path errors across replicas (divergence indicator).
+  uint64_t TotalApplyErrors() const;
+
+  ReplicaNode* replica(int index) { return replicas[static_cast<size_t>(index)].get(); }
+  client::Driver* driver(int index = 0) { return drivers[static_cast<size_t>(index)].get(); }
+
+  sim::Simulator sim;
+  std::unique_ptr<net::Network> network;
+  std::vector<std::unique_ptr<ReplicaNode>> replicas;
+  std::unique_ptr<Controller> controller;
+  std::vector<std::unique_ptr<client::Driver>> drivers;
+  ClusterOptions options;
+};
+
+}  // namespace replidb::middleware
+
+#endif  // REPLIDB_MIDDLEWARE_CLUSTER_H_

@@ -1,0 +1,114 @@
+#ifndef REPLIDB_MIDDLEWARE_COMMON_H_
+#define REPLIDB_MIDDLEWARE_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/types.h"
+#include "sim/simulator.h"
+
+namespace replidb::middleware {
+
+/// Monotonic cluster-wide commit version assigned by the controller.
+/// Version k is the k-th replicated write transaction in global order.
+using GlobalVersion = uint64_t;
+
+/// \brief A client transaction: the unit of work submitted to the
+/// middleware. Statements execute in order inside one database transaction
+/// on whichever replica(s) the replication strategy selects.
+struct TxnRequest {
+  std::vector<std::string> statements;
+  /// Client's declared intent (JDBC setReadOnly analogue). The controller
+  /// additionally parses statements, so a mislabeled read is still routed
+  /// as a write.
+  bool read_only = false;
+  /// Data-partition hint for partitioned deployments (Figure 2): workload
+  /// generators set it from the partition key; drivers pick the partition
+  /// controller with it.
+  int64_t partition_hint = 0;
+};
+
+/// \brief Outcome returned to the client driver.
+struct TxnResult {
+  Status status;
+  /// Global version this write committed at (0 for reads/aborts).
+  GlobalVersion version = 0;
+  /// How stale the replica serving a read was, in versions behind the
+  /// cluster head (0 = fully fresh). Reads only.
+  uint64_t staleness = 0;
+  /// Rows returned by the last SELECT in the transaction, if any.
+  std::vector<sql::Row> rows;
+  /// End-to-end latency, filled by the client driver.
+  sim::Duration latency = 0;
+  /// Retries the driver performed before this outcome.
+  int retries = 0;
+};
+
+/// Replication strategies (paper §2 and §4.3.2).
+enum class ReplicationMode {
+  /// Figure 1/3: one master executes writes; binlog ships to slaves
+  /// asynchronously after the client is acked (1-safe).
+  kMasterSlaveAsync,
+  /// 2-safe: the master's commit ack is withheld until `sync_ack_count`
+  /// slaves confirmed receipt of the log entries.
+  kMasterSlaveSync,
+  /// Multi-master statement replication: every write transaction's
+  /// statements are broadcast in total order and re-executed on every
+  /// replica (§4.3.2 "statement replication").
+  kMultiMasterStatement,
+  /// Multi-master transaction (writeset) replication: execute once,
+  /// certify against concurrent writesets (SI, first-committer-wins),
+  /// apply row images on the other replicas.
+  kMultiMasterCertification,
+};
+
+const char* ReplicationModeName(ReplicationMode mode);
+
+/// Cluster-level consistency guarantees offered to clients (§3.3).
+enum class ConsistencyLevel {
+  /// Read any replica regardless of lag (loose/eventual freshness).
+  kEventual,
+  /// Prefix-consistent session SI: a session never reads a state older
+  /// than its own last observed version (read-your-writes).
+  kSessionPCSI,
+  /// 1-copy strong SI: reads only on fully caught-up replicas.
+  kStrongSI,
+  /// 1-copy serializability: strong routing + serializable execution.
+  kOneCopySerializability,
+};
+
+const char* ConsistencyLevelName(ConsistencyLevel level);
+
+/// Policy for write statements that are unsafe to broadcast (§4.3.2).
+enum class NonDeterminismPolicy {
+  /// Refuse the transaction with an error.
+  kRefuse,
+  /// Broadcast anyway — replicas may diverge (what naive middleware does;
+  /// the divergence is measurable via content hashes).
+  kBroadcastAnyway,
+};
+
+/// \brief One entry of the cluster-wide replication stream: everything
+/// needed to re-apply a transaction on a replica, in global order.
+struct ReplicationEntry {
+  GlobalVersion version = 0;
+  /// Writeset (row images) — empty or incomplete for some transactions.
+  engine::Writeset writeset;
+  /// Statement texts (for statement-mode apply and for the recovery log).
+  std::vector<std::string> statements;
+  bool use_statements = false;  ///< Apply by re-execution vs row images.
+
+  int64_t SizeBytes() const {
+    int64_t bytes = 64 + writeset.SizeBytes();
+    for (const std::string& s : statements) {
+      bytes += static_cast<int64_t>(s.size());
+    }
+    return bytes;
+  }
+};
+
+}  // namespace replidb::middleware
+
+#endif  // REPLIDB_MIDDLEWARE_COMMON_H_

@@ -1,0 +1,1206 @@
+#include "middleware/controller.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "sql/parser.h"
+
+namespace replidb::middleware {
+
+const char* LoadBalancePolicyName(LoadBalancePolicy policy) {
+  switch (policy) {
+    case LoadBalancePolicy::kRoundRobin:
+      return "round-robin";
+    case LoadBalancePolicy::kLeastPending:
+      return "least-pending(LPRF)";
+    case LoadBalancePolicy::kWeighted:
+      return "weighted";
+    case LoadBalancePolicy::kMemoryAware:
+      return "memory-aware";
+  }
+  return "?";
+}
+
+Controller::Controller(sim::Simulator* sim, net::Network* network,
+                       net::NodeId node, std::vector<ReplicaNode*> replicas,
+                       ControllerOptions options, net::SiteId site)
+    : sim_(sim), network_(network), options_(options), rng_(options.seed) {
+  dispatcher_ = std::make_unique<net::Dispatcher>(network, node, site);
+  workers_free_.assign(static_cast<size_t>(options_.capacity), 0);
+
+  for (ReplicaNode* r : replicas) {
+    ReplicaInfo info;
+    info.node = r;
+    replicas_[r->id()] = info;
+  }
+
+  hb_responder_ = std::make_unique<net::HeartbeatResponder>(sim_, dispatcher_.get());
+  detector_ = std::make_unique<net::HeartbeatDetector>(sim_, dispatcher_.get(),
+                                                       options_.heartbeat);
+  detector_->OnSuspicionChange([this](net::NodeId n, bool suspect) {
+    OnReplicaSuspicion(n, suspect);
+  });
+
+  dispatcher_->On(kMsgClientTxn,
+                  [this](const net::Message& m) { HandleClientTxn(m); });
+  dispatcher_->On(kMsgExecReply,
+                  [this](const net::Message& m) { HandleExecReply(m); });
+  dispatcher_->On(kMsgFinishReply,
+                  [this](const net::Message& m) { HandleFinishReply(m); });
+  dispatcher_->On(kMsgProgress,
+                  [this](const net::Message& m) { HandleProgress(m); });
+  dispatcher_->On(kMsgBackupReply, [this](const net::Message& m) {
+    auto body = std::any_cast<BackupReplyMsg>(m.body);
+    auto it = backup_waiters_.find(body.req_id);
+    if (it == backup_waiters_.end()) return;
+    auto cb = std::move(it->second);
+    backup_waiters_.erase(it);
+    cb(body);
+  });
+  dispatcher_->On(kMsgRestoreReply, [this](const net::Message& m) {
+    auto body = std::any_cast<RestoreReplyMsg>(m.body);
+    auto it = restore_waiters_.find(body.req_id);
+    if (it == restore_waiters_.end()) return;
+    auto cb = std::move(it->second);
+    restore_waiters_.erase(it);
+    cb(body);
+  });
+
+  // Controller replication (§3.2): standby absorbs mirror traffic and
+  // watches the active; the active collects mirror acks.
+  dispatcher_->On(kMsgMirror, [this](const net::Message& m) {
+    if (crashed_) return;
+    auto body = std::any_cast<MirrorMsg>(m.body);
+    if (body.entry.version > 0) recovery_log_.Append(body.entry);
+    global_version_ = std::max(global_version_, body.global_version);
+    dispatcher_->Send(m.from, kMsgMirrorAck, MirrorAckMsg{body.seq}, 48);
+  });
+  dispatcher_->On(kMsgMirrorAck, [this](const net::Message& m) {
+    if (crashed_) return;
+    auto body = std::any_cast<MirrorAckMsg>(m.body);
+    ++mirror_acks_;
+    // Release client replies parked on this (or any earlier) mirror seq.
+    for (auto it = mirror_waiters_.begin();
+         it != mirror_waiters_.end() && it->first <= body.seq;) {
+      it->second();
+      it = mirror_waiters_.erase(it);
+    }
+  });
+  if (options_.standby_of >= 0) {
+    passive_ = true;
+    net::HeartbeatOptions watchdog = options_.heartbeat;
+    active_watchdog_ = std::make_unique<net::HeartbeatDetector>(
+        sim_, dispatcher_.get(), watchdog);
+    active_watchdog_->Watch(options_.standby_of);
+    active_watchdog_->OnSuspicionChange([this](net::NodeId n, bool suspect) {
+      if (n == options_.standby_of && suspect && passive_) TakeOver();
+    });
+  }
+}
+
+Controller::~Controller() = default;
+
+void Controller::Start() {
+  for (auto& [id, info] : replicas_) {
+    if (!passive_) {
+      info.node->MarkSetupComplete();
+      info.node->SetController(this->id());
+    }
+    info.applied = info.node->applied_version();
+    global_version_ = std::max(global_version_, info.applied);
+    detector_->Watch(id);
+  }
+  if (!replicas_.empty()) master_ = replicas_.begin()->first;
+  if (passive_) return;  // A standby only observes until takeover.
+  UpdateSubscriptions();
+  anti_entropy_ = std::make_unique<sim::PeriodicTask>(
+      sim_, sim::kSecond, [this] {
+        if (!crashed_) AntiEntropySweep();
+      });
+  anti_entropy_->Start();
+}
+
+void Controller::TakeOver() {
+  if (!passive_) return;
+  passive_ = false;
+  REPLIDB_LOG(Info) << "standby controller " << id() << " taking over";
+  // Rebuild the soft state the mirror stream does not carry.
+  for (auto& [rid, info] : replicas_) {
+    info.node->SetController(this->id());
+    info.outstanding = 0;
+    info.applied = info.node->applied_version();
+    global_version_ = std::max(global_version_, info.applied);
+    info.state = detector_->IsSuspect(rid) ? ReplicaState::kDown
+                                           : ReplicaState::kOnline;
+  }
+  PromoteNewMaster();
+  UpdateSubscriptions();
+  anti_entropy_ = std::make_unique<sim::PeriodicTask>(
+      sim_, sim::kSecond, [this] {
+        if (!crashed_) AntiEntropySweep();
+      });
+  anti_entropy_->Start();
+}
+
+void Controller::MirrorAppend(const ReplicationEntry& entry) {
+  if (options_.mirror_to < 0) return;
+  MirrorMsg msg;
+  msg.seq = ++mirror_seq_;
+  msg.entry = entry;
+  msg.global_version = global_version_;
+  dispatcher_->Send(options_.mirror_to, kMsgMirror, msg,
+                    entry.SizeBytes() + 64);
+}
+
+void Controller::AntiEntropySweep() {
+  for (auto& [id, info] : replicas_) {
+    if (info.state == ReplicaState::kDown) continue;
+    if (info.applied >= global_version_) {
+      info.swept_at = info.applied;
+      continue;
+    }
+    if (info.applied != info.swept_at) {
+      // Still making progress; check again next sweep.
+      info.swept_at = info.applied;
+      continue;
+    }
+    // Stalled behind the head with no progress for a full sweep period:
+    // re-push the missing recovery-log range (receivers dedup).
+    GlobalVersion up_to =
+        std::min<GlobalVersion>(info.applied + 5000, global_version_);
+    for (ReplicationEntry& entry : recovery_log_.Range(info.applied, up_to)) {
+      ApplyMsg msg;
+      msg.entry = std::move(entry);
+      dispatcher_->Send(id, kMsgApply, msg, msg.entry.SizeBytes() + 64);
+    }
+  }
+}
+
+void Controller::SetReplicaWeight(net::NodeId replica, double weight) {
+  if (ReplicaInfo* info = Info(replica)) info->weight = weight;
+}
+
+Controller::ReplicaState Controller::replica_state(net::NodeId replica) const {
+  const ReplicaInfo* info = Info(replica);
+  return info == nullptr ? ReplicaState::kDown : info->state;
+}
+
+std::vector<net::NodeId> Controller::OnlineReplicas() const {
+  std::vector<net::NodeId> out;
+  for (const auto& [id, info] : replicas_) {
+    if (info.state == ReplicaState::kOnline) out.push_back(id);
+  }
+  return out;
+}
+
+Controller::ReplicaInfo* Controller::Info(net::NodeId replica) {
+  auto it = replicas_.find(replica);
+  return it == replicas_.end() ? nullptr : &it->second;
+}
+
+const Controller::ReplicaInfo* Controller::Info(net::NodeId replica) const {
+  auto it = replicas_.find(replica);
+  return it == replicas_.end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Client transaction entry point
+
+void Controller::HandleClientTxn(const net::Message& m) {
+  if (crashed_) return;
+  auto msg = std::any_cast<ClientTxnMsg>(m.body);
+  if (passive_) {
+    ClientTxnReply reply;
+    reply.req_id = msg.req_id;
+    reply.result.status =
+        Status::Unavailable("standby controller: active still alive");
+    dispatcher_->Send(m.from, kMsgClientTxnReply, reply, 128);
+    return;
+  }
+
+  // Exactly-once: a driver retry of a write we already finished gets the
+  // stored outcome; a retry of one still in flight is dropped (the
+  // original reply will reach the driver under the same request id).
+  auto client_key = std::make_pair(m.from, msg.req_id);
+  auto done = completed_writes_.find(client_key);
+  if (done != completed_writes_.end()) {
+    ClientTxnReply reply;
+    reply.req_id = msg.req_id;
+    reply.result = done->second;
+    dispatcher_->Send(m.from, kMsgClientTxnReply, reply, 256);
+    return;
+  }
+  if (active_client_reqs_.count(client_key)) return;
+
+  uint64_t req = next_req_++;
+  active_client_reqs_[client_key] = req;
+  Pending p;
+  p.req_id = req;
+  p.client = m.from;
+  p.client_req_id = msg.req_id;
+  p.request = msg.request;
+
+  // Classify: trust read_only only if no statement parses as a write.
+  p.is_write = !msg.request.read_only;
+  if (!p.is_write) {
+    for (const std::string& stmt : msg.request.statements) {
+      Result<sql::Statement> parsed = sql::Parse(stmt);
+      if (!parsed.ok() || parsed.value().IsWrite()) {
+        p.is_write = true;
+        break;
+      }
+    }
+  }
+
+  ++stats_.txns_total;
+  if (p.is_write) {
+    ++stats_.writes_total;
+  } else {
+    ++stats_.reads_total;
+  }
+
+  switch (options_.consistency) {
+    case ConsistencyLevel::kEventual:
+      p.min_version = 0;
+      break;
+    case ConsistencyLevel::kSessionPCSI:
+      p.min_version = msg.last_seen_version;
+      break;
+    case ConsistencyLevel::kStrongSI:
+    case ConsistencyLevel::kOneCopySerializability:
+      p.min_version = global_version_;
+      break;
+  }
+  p.tables = ExtractTables(msg.request);
+
+  auto [it, inserted] = pending_.emplace(req, std::move(p));
+  (void)inserted;
+  ArmTimeout(&it->second);
+
+  // Middleware processing cost (parse + route) before dispatch.
+  sim::TimePoint ready = ChargeProcessing(msg.request.statements.size());
+  uint64_t epoch = epoch_;
+  sim_->ScheduleAt(ready, [this, epoch, req] {
+    if (epoch != epoch_ || crashed_) return;
+    auto pit = pending_.find(req);
+    if (pit == pending_.end()) return;
+    Pending* p = &pit->second;
+    if (p->is_write) {
+      RouteWrite(p);
+    } else {
+      RouteRead(p);
+    }
+  });
+}
+
+sim::TimePoint Controller::ChargeProcessing(size_t statements) {
+  int64_t cost = static_cast<int64_t>(
+      10 + options_.per_statement_us * static_cast<double>(statements));
+  auto worker = std::min_element(workers_free_.begin(), workers_free_.end());
+  sim::TimePoint start = std::max(sim_->Now(), *worker);
+  *worker = start + cost;
+  return *worker;
+}
+
+std::vector<std::string> Controller::ExtractTables(const TxnRequest& request) {
+  std::vector<std::string> tables;
+  for (const std::string& stmt : request.statements) {
+    Result<sql::Statement> parsed = sql::Parse(stmt);
+    if (!parsed.ok()) continue;
+    const sql::TableRef* ref = parsed.value().TargetTable();
+    if (ref == nullptr) continue;
+    std::string key = ref->ToString();
+    if (std::find(tables.begin(), tables.end(), key) == tables.end()) {
+      tables.push_back(key);
+    }
+  }
+  return tables;
+}
+
+// ---------------------------------------------------------------------------
+// Read routing
+
+net::NodeId Controller::PickReadReplica(const Pending& p) {
+  std::vector<net::NodeId> candidates;
+  for (const auto& [id, info] : replicas_) {
+    if (info.state != ReplicaState::kOnline) continue;
+    if (!options_.reads_on_master && id == master_ && replicas_.size() > 1) {
+      continue;
+    }
+    candidates.push_back(id);
+  }
+  if (candidates.empty()) return -1;
+
+  if (options_.granularity == LoadBalanceGranularity::kConnection) {
+    // Sticky per client connection until its replica leaves rotation.
+    auto it = connection_affinity_.find(p.client);
+    if (it != connection_affinity_.end()) {
+      for (net::NodeId cand : candidates) {
+        if (cand == it->second) return cand;
+      }
+      connection_affinity_.erase(it);  // Pinned replica is gone: re-pin.
+    }
+    net::NodeId pick = candidates[round_robin_++ % candidates.size()];
+    connection_affinity_[p.client] = pick;
+    return pick;
+  }
+
+  switch (options_.load_balance) {
+    case LoadBalancePolicy::kRoundRobin:
+      return candidates[round_robin_++ % candidates.size()];
+    case LoadBalancePolicy::kLeastPending: {
+      net::NodeId best = candidates[0];
+      int64_t best_load = Info(best)->outstanding;
+      for (net::NodeId c : candidates) {
+        if (Info(c)->outstanding < best_load) {
+          best = c;
+          best_load = Info(c)->outstanding;
+        }
+      }
+      return best;
+    }
+    case LoadBalancePolicy::kWeighted: {
+      net::NodeId best = candidates[0];
+      double best_score =
+          static_cast<double>(Info(best)->outstanding + 1) / Info(best)->weight;
+      for (net::NodeId c : candidates) {
+        double score =
+            static_cast<double>(Info(c)->outstanding + 1) / Info(c)->weight;
+        if (score < best_score) {
+          best = c;
+          best_score = score;
+        }
+      }
+      return best;
+    }
+    case LoadBalancePolicy::kMemoryAware: {
+      // Route to the replica already "owning" the transaction's tables so
+      // working sets stay in memory (Tashkent+, §3.2).
+      net::NodeId best = -1;
+      int best_hits = -1;
+      for (net::NodeId c : candidates) {
+        const auto& affinity = Info(c)->affinity_tables;
+        int hits = 0;
+        for (const std::string& t : p.tables) {
+          if (std::find(affinity.begin(), affinity.end(), t) != affinity.end()) {
+            ++hits;
+          }
+        }
+        if (hits > best_hits ||
+            (hits == best_hits && best >= 0 &&
+             Info(c)->outstanding < Info(best)->outstanding)) {
+          best = c;
+          best_hits = hits;
+        }
+      }
+      if (best_hits <= 0) {
+        // Unowned working set: assign it to the replica with the fewest
+        // owned tables to spread memory footprints.
+        net::NodeId target = candidates[0];
+        for (net::NodeId c : candidates) {
+          if (Info(c)->affinity_tables.size() <
+              Info(target)->affinity_tables.size()) {
+            target = c;
+          }
+        }
+        best = target;
+      }
+      auto& affinity = Info(best)->affinity_tables;
+      for (const std::string& t : p.tables) {
+        if (std::find(affinity.begin(), affinity.end(), t) == affinity.end()) {
+          affinity.push_back(t);
+        }
+      }
+      return best;
+    }
+  }
+  return candidates[0];
+}
+
+void Controller::RouteRead(Pending* p) {
+  net::NodeId target = PickReadReplica(*p);
+  if (target < 0) {
+    ++stats_.unavailable;
+    TxnResult result;
+    result.status = Status::Unavailable("no online replica for reads");
+    FinishRequest(p, std::move(result));
+    return;
+  }
+  p->target = target;
+  Info(target)->outstanding++;
+  ExecTxnMsg msg;
+  msg.req_id = p->req_id;
+  msg.statements = p->request.statements;
+  msg.read_only = true;
+  msg.min_version = p->min_version;
+  msg.tables = p->tables;
+  dispatcher_->Send(target, kMsgExec, msg, 256);
+}
+
+// ---------------------------------------------------------------------------
+// Write routing
+
+void Controller::RouteWrite(Pending* p) {
+  if (options_.require_majority_for_writes && !HaveWriteQuorum()) {
+    ++stats_.unavailable;
+    TxnResult result;
+    result.status = Status::NoQuorum(
+        "fewer than a majority of replicas reachable; writes refused");
+    FinishRequest(p, std::move(result));
+    return;
+  }
+  switch (options_.mode) {
+    case ReplicationMode::kMasterSlaveAsync:
+    case ReplicationMode::kMasterSlaveSync:
+      RouteWriteMasterSlave(p);
+      return;
+    case ReplicationMode::kMultiMasterStatement:
+      RouteWriteStatement(p);
+      return;
+    case ReplicationMode::kMultiMasterCertification:
+      RouteWriteCertification(p);
+      return;
+  }
+}
+
+void Controller::RouteWriteMasterSlave(Pending* p) {
+  ReplicaInfo* m = Info(master_);
+  if (master_ < 0 || m == nullptr || m->state != ReplicaState::kOnline) {
+    ++stats_.unavailable;
+    TxnResult result;
+    result.status = Status::Unavailable("no master available");
+    FinishRequest(p, std::move(result));
+    return;
+  }
+  p->target = master_;
+  m->outstanding++;
+  ExecTxnMsg msg;
+  msg.req_id = p->req_id;
+  msg.statements = p->request.statements;
+  msg.read_only = false;
+  msg.tables = p->tables;
+  if (options_.mode == ReplicationMode::kMasterSlaveSync) {
+    // Semi-sync degradation: only count slaves that can actually ack.
+    // With no live slave, commit 1-safe rather than block forever (the
+    // availability/consistency trade the paper discusses in §2.2).
+    int online_slaves = 0;
+    for (const auto& [id, info] : replicas_) {
+      if (id != master_ && info.state == ReplicaState::kOnline) {
+        ++online_slaves;
+      }
+    }
+    msg.sync_ack_count = std::min(options_.sync_ack_count, online_slaves);
+  }
+  dispatcher_->Send(master_, kMsgExec, msg, 512);
+}
+
+Status Controller::PrepareStatements(Pending* p) {
+  p->statements.clear();
+  sql::Value now_value = sql::Value::Int(sim_->Now());
+  bool unsafe = false;
+  std::vector<std::string> reasons;
+  for (const std::string& text : p->request.statements) {
+    Result<sql::Statement> parsed = sql::Parse(text);
+    if (!parsed.ok()) {
+      // Opaque statement: cannot rewrite; broadcast raw.
+      p->statements.push_back(text);
+      continue;
+    }
+    sql::Statement stmt = parsed.TakeValue();
+    sql::DeterminismReport report =
+        sql::RewriteForStatementReplication(&stmt, now_value, &rng_);
+    if (!report.SafeForStatementReplication()) {
+      unsafe = true;
+      for (const std::string& r : report.issues) reasons.push_back(r);
+    }
+    p->statements.push_back(sql::ToSql(stmt));
+  }
+  if (unsafe) {
+    if (options_.nondeterminism == NonDeterminismPolicy::kRefuse) {
+      ++stats_.rejected_nondeterministic;
+      std::string why = "non-deterministic statement refused";
+      if (!reasons.empty()) why += ": " + reasons.front();
+      return Status::InvalidArgument(why);
+    }
+    ++stats_.unsafe_broadcasts;  // Divergence risk accepted.
+  }
+  return Status::OK();
+}
+
+void Controller::RouteWriteStatement(Pending* p) {
+  Status prepared = PrepareStatements(p);
+  if (!prepared.ok()) {
+    TxnResult result;
+    result.status = prepared;
+    FinishRequest(p, std::move(result));
+    return;
+  }
+  std::vector<net::NodeId> targets;
+  for (const auto& [id, info] : replicas_) {
+    if (info.state != ReplicaState::kDown) targets.push_back(id);
+  }
+  int online = 0;
+  for (net::NodeId t : targets) {
+    if (Info(t)->state == ReplicaState::kOnline) ++online;
+  }
+  if (online == 0) {
+    ++stats_.unavailable;
+    TxnResult result;
+    result.status = Status::Unavailable("no online replica for writes");
+    FinishRequest(p, std::move(result));
+    return;
+  }
+
+  p->order = ++global_version_;
+  ReplicationEntry entry;
+  entry.version = p->order;
+  entry.statements = p->statements;
+  entry.use_statements = true;
+  recovery_log_.Append(entry);
+  MirrorAppend(entry);
+  p->mirror_seq_after = mirror_seq_;
+
+  p->replies_needed = std::min(options_.statement_quorum, online);
+  if (p->replies_needed < 1) p->replies_needed = 1;
+  for (net::NodeId t : targets) {
+    ExecTxnMsg msg;
+    msg.req_id = p->req_id;
+    msg.statements = p->statements;
+    msg.read_only = false;
+    msg.order = p->order;
+    msg.tables = p->tables;
+    dispatcher_->Send(t, kMsgExec, msg, 512);
+  }
+}
+
+void Controller::RouteWriteCertification(Pending* p) {
+  net::NodeId target = PickReadReplica(*p);  // Balance writes too.
+  if (target < 0) {
+    ++stats_.unavailable;
+    TxnResult result;
+    result.status = Status::Unavailable("no online replica for writes");
+    FinishRequest(p, std::move(result));
+    return;
+  }
+  p->target = target;
+  p->begin_version = global_version_;
+  Info(target)->outstanding++;
+  ExecTxnMsg msg;
+  msg.req_id = p->req_id;
+  msg.statements = p->request.statements;
+  msg.read_only = false;
+  msg.hold_commit = true;
+  msg.tables = p->tables;
+  dispatcher_->Send(target, kMsgExec, msg, 512);
+}
+
+// ---------------------------------------------------------------------------
+// Replies
+
+void Controller::HandleExecReply(const net::Message& m) {
+  if (crashed_) return;
+  auto reply = std::any_cast<ExecTxnReply>(m.body);
+  auto it = pending_.find(reply.req_id);
+  if (it == pending_.end()) return;  // Timed out earlier.
+  Pending* p = &it->second;
+  if (ReplicaInfo* info = Info(m.from)) {
+    if (info->outstanding > 0 && p->target == m.from) info->outstanding--;
+    info->applied = std::max(info->applied, reply.replica_applied_version);
+  }
+
+  if (!p->is_write) {
+    TxnResult result;
+    result.status = reply.status;
+    result.rows = std::move(reply.rows);
+    uint64_t staleness =
+        global_version_ > reply.replica_applied_version
+            ? global_version_ - reply.replica_applied_version
+            : 0;
+    result.staleness = staleness;
+    max_read_staleness_ = std::max(max_read_staleness_, staleness);
+    FinishRequest(p, std::move(result));
+    return;
+  }
+
+  switch (options_.mode) {
+    case ReplicationMode::kMasterSlaveAsync:
+    case ReplicationMode::kMasterSlaveSync: {
+      TxnResult result;
+      result.status = reply.status;
+      if (reply.status.ok() && reply.committed_version > 0) {
+        global_version_ = std::max(global_version_, reply.committed_version);
+        ReplicationEntry entry;
+        entry.version = reply.committed_version;
+        entry.writeset = reply.writeset;
+        entry.statements = reply.statements;
+        entry.use_statements =
+            reply.writeset.empty() || reply.writeset.incomplete;
+        recovery_log_.Append(entry);
+        p->mirror_seq_after = 0;
+        MirrorAppend(entry);
+        p->mirror_seq_after = mirror_seq_;
+        result.version = reply.committed_version;
+      } else if (!reply.status.ok()) {
+        ++stats_.aborts_execution;
+      }
+      FinishRequest(p, std::move(result));
+      return;
+    }
+    case ReplicationMode::kMultiMasterStatement: {
+      --p->replies_needed;
+      if (p->first_reply.req_id == 0) p->first_reply = reply;
+      if (p->replies_needed > 0) return;
+      TxnResult result;
+      result.status = p->first_reply.status;
+      if (result.status.ok()) {
+        result.version = p->order;
+      } else {
+        ++stats_.aborts_execution;
+      }
+      FinishRequest(p, std::move(result));
+      return;
+    }
+    case ReplicationMode::kMultiMasterCertification: {
+      if (!reply.status.ok()) {
+        ++stats_.aborts_execution;
+        TxnResult result;
+        result.status = reply.status;
+        FinishRequest(p, std::move(result));
+        return;
+      }
+      p->writeset = reply.writeset;
+      p->statements = reply.statements;
+      // The transaction's snapshot is exactly what the replica had applied
+      // when it executed. Not the controller's (possibly newer) global
+      // version: in-flight versions the replica had not yet applied are
+      // genuine conflicts, and not the arrival-time version either:
+      // queueing delay would masquerade as conflicts.
+      p->begin_version = reply.replica_applied_version;
+      std::vector<std::string> keys = p->writeset.ConflictKeys();
+      if (p->writeset.incomplete) {
+        FinishTxnMsg abort_msg;
+        abort_msg.req_id = p->req_id;
+        abort_msg.commit = false;
+        dispatcher_->Send(p->target, kMsgFinish, abort_msg, 64);
+        TxnResult result;
+        result.status = Status::NotSupported(
+            "writeset replication needs primary keys on all written tables");
+        FinishRequest(p, std::move(result));
+        return;
+      }
+      if (!Certify(p->begin_version, keys)) {
+        ++stats_.aborts_certification;
+        FinishTxnMsg abort_msg;
+        abort_msg.req_id = p->req_id;
+        abort_msg.commit = false;
+        dispatcher_->Send(p->target, kMsgFinish, abort_msg, 64);
+        TxnResult result;
+        result.status =
+            Status::Conflict("certification failed (first-committer-wins)");
+        FinishRequest(p, std::move(result));
+        return;
+      }
+      // Certified: assign the version, distribute, and commit at origin.
+      GlobalVersion v = ++global_version_;
+      RecordCertified(v, keys);
+      ReplicationEntry entry;
+      entry.version = v;
+      entry.writeset = p->writeset;
+      entry.statements = p->statements;
+      entry.use_statements = false;
+      recovery_log_.Append(entry);
+      MirrorAppend(entry);
+      p->mirror_seq_after = mirror_seq_;
+      for (const auto& [id, info] : replicas_) {
+        if (id == p->target || info.state == ReplicaState::kDown) continue;
+        ApplyMsg apply;
+        apply.entry = entry;
+        dispatcher_->Send(id, kMsgApply, apply, entry.SizeBytes() + 64);
+      }
+      p->held = true;
+      p->order = v;
+      FinishTxnMsg commit_msg;
+      commit_msg.req_id = p->req_id;
+      commit_msg.commit = true;
+      commit_msg.version = v;
+      commit_msg.entry = entry;
+      dispatcher_->Send(p->target, kMsgFinish, commit_msg,
+                        entry.SizeBytes() + 64);
+      return;
+    }
+  }
+}
+
+void Controller::HandleFinishReply(const net::Message& m) {
+  if (crashed_) return;
+  auto reply = std::any_cast<FinishTxnReply>(m.body);
+  auto it = pending_.find(reply.req_id);
+  if (it == pending_.end()) return;
+  Pending* p = &it->second;
+  TxnResult result;
+  result.status = reply.status;
+  if (reply.status.ok()) result.version = p->order;
+  FinishRequest(p, std::move(result));
+}
+
+bool Controller::Certify(GlobalVersion begin_version,
+                         const std::vector<std::string>& keys) const {
+  for (const std::string& key : keys) {
+    auto it = last_writer_.find(key);
+    if (it != last_writer_.end() && it->second > begin_version) return false;
+  }
+  return true;
+}
+
+void Controller::RecordCertified(GlobalVersion version,
+                                 const std::vector<std::string>& keys) {
+  for (const std::string& key : keys) last_writer_[key] = version;
+}
+
+void Controller::HandleProgress(const net::Message& m) {
+  if (crashed_) return;
+  auto body = std::any_cast<ProgressMsg>(m.body);
+  ReplicaInfo* info = Info(m.from);
+  if (info == nullptr) return;
+  info->applied = std::max(info->applied, body.applied_version);
+  if (info->state == ReplicaState::kResyncing) CheckResyncDone(m.from);
+}
+
+// ---------------------------------------------------------------------------
+// Completion / timeout
+
+void Controller::FinishRequest(Pending* p, TxnResult result) {
+  if (result.status.ok()) {
+    if (p->is_write) ++stats_.commits;
+  }
+  sim_->Cancel(p->timer);
+  auto client_key = std::make_pair(p->client, p->client_req_id);
+  active_client_reqs_.erase(client_key);
+  // Remember definitive write outcomes so retries are not re-executed.
+  // Retryable aborts (certification conflicts, deadlocks) and
+  // availability failures are NOT definitive: the driver's retry is a
+  // genuinely new attempt and must re-execute.
+  bool retryable = result.status.IsRetryableAbort() ||
+                   result.status.code() == StatusCode::kTimeout ||
+                   result.status.code() == StatusCode::kUnavailable ||
+                   result.status.code() == StatusCode::kNoQuorum;
+  if (p->is_write && !retryable) {
+    completed_writes_[client_key] = result;
+  }
+  ClientTxnReply reply;
+  reply.req_id = p->client_req_id;
+  reply.result = std::move(result);
+  net::NodeId client = p->client;
+  uint64_t mirror_seq = p->mirror_seq_after;
+  pending_.erase(p->req_id);
+  auto send = [this, client, reply]() {
+    dispatcher_->Send(client, kMsgClientTxnReply, reply, 256);
+  };
+  if (options_.mirror_to >= 0 && options_.mirror_sync && mirror_seq > 0 &&
+      mirror_seq > mirror_acks_) {
+    // Synchronous controller replication: the commit is not acknowledged
+    // until the standby holds it (the measurable §3.2 overhead).
+    mirror_waiters_.emplace(mirror_seq, std::move(send));
+    return;
+  }
+  send();
+}
+
+void Controller::ArmTimeout(Pending* p) {
+  uint64_t req = p->req_id;
+  p->timer = sim_->Schedule(options_.request_timeout,
+                            [this, req] { OnTimeout(req); });
+}
+
+void Controller::OnTimeout(uint64_t req_id) {
+  auto it = pending_.find(req_id);
+  if (it == pending_.end()) return;
+  Pending* p = &it->second;
+  ++stats_.timeouts;
+  if (p->target >= 0) {
+    if (ReplicaInfo* info = Info(p->target)) {
+      if (info->outstanding > 0) info->outstanding--;
+    }
+  }
+  if (p->order > 0) {
+    // The write already owns a slot in the global order and sits in the
+    // recovery log: it is durably committed no matter how slowly the
+    // replicas answer. Report success instead of an ambiguous timeout.
+    TxnResult result;
+    result.version = p->order;
+    FinishRequest(p, std::move(result));
+    return;
+  }
+  if (p->held) {
+    FinishTxnMsg abort_msg;
+    abort_msg.req_id = p->req_id;
+    abort_msg.commit = false;
+    dispatcher_->Send(p->target, kMsgFinish, abort_msg, 64);
+  }
+  TxnResult result;
+  result.status = Status::Timeout("request timed out in middleware");
+  FinishRequest(p, std::move(result));
+}
+
+// ---------------------------------------------------------------------------
+// Failure handling
+
+void Controller::OnReplicaSuspicion(net::NodeId replica, bool suspect) {
+  ReplicaInfo* info = Info(replica);
+  if (info == nullptr) return;
+  if (passive_) {
+    // Observe only; actions happen at takeover.
+    info->state = suspect ? ReplicaState::kDown : ReplicaState::kOnline;
+    return;
+  }
+  if (suspect) {
+    if (info->state == ReplicaState::kDown) return;
+    REPLIDB_LOG(Info) << "controller: replica " << replica << " suspected";
+    info->state = ReplicaState::kDown;
+    info->outstanding = 0;
+    recovery_log_.SetCheckpoint(replica, info->applied);
+    if (replica == master_) PromoteNewMaster();
+  } else {
+    if (info->state != ReplicaState::kDown) return;
+    REPLIDB_LOG(Info) << "controller: replica " << replica << " back";
+    StartResync(replica);
+  }
+}
+
+void Controller::PromoteNewMaster() {
+  bool master_slave = options_.mode == ReplicationMode::kMasterSlaveAsync ||
+                      options_.mode == ReplicationMode::kMasterSlaveSync;
+  net::NodeId best = -1;
+  GlobalVersion best_applied = 0;
+  for (const auto& [id, info] : replicas_) {
+    if (info.state != ReplicaState::kOnline) continue;
+    if (info.applied >= best_applied) {
+      best = id;
+      best_applied = info.applied;
+    }
+  }
+  net::NodeId old_master = master_;
+  master_ = best;
+  if (best < 0) {
+    REPLIDB_LOG(Warn) << "controller: no master candidate; writes unavailable";
+    return;
+  }
+  ++stats_.failovers;
+  // 1-safe loss accounting: acked versions beyond the most caught-up
+  // survivor are gone (§2.2). The failed master still holds them on its
+  // disk, so if it ever rejoins it must be re-cloned, not replayed.
+  // Only master-slave modes lose the unshipped tail: there the failed
+  // master WAS the version authority. In multi-master modes the
+  // controller assigns versions and the recovery log holds every one of
+  // them, so nothing is lost and the version counter must not regress.
+  GlobalVersion survivor = Info(best)->applied;
+  if (master_slave && global_version_ > survivor) {
+    stats_.lost_transactions += global_version_ - survivor;
+    global_version_ = survivor;
+    if (old_master >= 0) divergence_markers_[old_master] = survivor;
+  }
+  REPLIDB_LOG(Info) << "controller: promoted " << best << " to master (was "
+                    << old_master << "), lost "
+                    << stats_.lost_transactions << " txns total";
+  UpdateSubscriptions();
+}
+
+void Controller::UpdateSubscriptions() {
+  if (options_.mode == ReplicationMode::kMasterSlaveAsync ||
+      options_.mode == ReplicationMode::kMasterSlaveSync) {
+    for (auto& [id, info] : replicas_) {
+      if (id == master_) {
+        std::vector<net::NodeId> subs;
+        for (const auto& [other, oinfo] : replicas_) {
+          (void)oinfo;
+          if (other != id) subs.push_back(other);
+        }
+        info.node->SetSubscribers(std::move(subs));
+      } else {
+        info.node->SetSubscribers({});
+      }
+    }
+  }
+}
+
+void Controller::StartResync(net::NodeId replica) {
+  ReplicaInfo* info = Info(replica);
+  if (info == nullptr) return;
+  info->state = ReplicaState::kResyncing;
+  // Honest checkpoint: what the replica durably applied (its disk), not
+  // what the controller believed.
+  GlobalVersion from = info->node->applied_version();
+  auto marker = divergence_markers_.find(replica);
+  if (marker != divergence_markers_.end()) {
+    GlobalVersion floor = marker->second;
+    divergence_markers_.erase(marker);
+    if (from > floor && master_ >= 0) {
+      // The rejoiner's disk carries commits the cluster never saw (the
+      // 1-safe lost transactions). Forward replay would merge divergent
+      // histories under reused version numbers; the only safe recovery is
+      // a full re-clone — the "hours of dump/restore" of §4.4.2.
+      REPLIDB_LOG(Info) << "controller: replica " << replica
+                        << " diverged (applied " << from << " > survivor "
+                        << floor << "); full re-clone from " << master_;
+      CloneInto(replica, master_);
+      return;
+    }
+  }
+  info->applied = from;
+  info->resync_target = global_version_;
+  std::vector<ReplicationEntry> entries =
+      recovery_log_.Range(from, global_version_);
+  for (ReplicationEntry& entry : entries) {
+    ApplyMsg msg;
+    msg.entry = std::move(entry);
+    dispatcher_->Send(replica, kMsgApply, msg, msg.entry.SizeBytes() + 64);
+  }
+  CheckResyncDone(replica);
+}
+
+void Controller::CheckResyncDone(net::NodeId replica) {
+  ReplicaInfo* info = Info(replica);
+  if (info == nullptr || info->state != ReplicaState::kResyncing) return;
+  if (info->applied < info->resync_target) return;
+  info->state = ReplicaState::kOnline;
+  ++stats_.resyncs_completed;
+  REPLIDB_LOG(Info) << "controller: replica " << replica << " resynced to v"
+                    << info->applied;
+  if (master_ < 0) PromoteNewMaster();
+  auto cb = add_callbacks_.find(replica);
+  if (cb != add_callbacks_.end()) {
+    auto fn = std::move(cb->second);
+    add_callbacks_.erase(cb);
+    fn(Status::OK());
+  }
+}
+
+bool Controller::HaveWriteQuorum() const {
+  size_t up = 0;
+  for (const auto& [id, info] : replicas_) {
+    (void)id;
+    if (info.state != ReplicaState::kDown) ++up;
+  }
+  return up * 2 > replicas_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Management operations
+
+void Controller::StartBackup(
+    net::NodeId replica, engine::BackupOptions opts,
+    std::function<void(Result<engine::BackupImage>)> on_done) {
+  uint64_t req = next_req_++;
+  backup_waiters_[req] = [on_done = std::move(on_done)](
+                             const BackupReplyMsg& reply) {
+    if (!reply.status.ok()) {
+      on_done(reply.status);
+    } else {
+      on_done(reply.image);
+    }
+  };
+  BackupMsg msg;
+  msg.req_id = req;
+  msg.options = opts;
+  dispatcher_->Send(replica, kMsgBackup, msg, 128);
+}
+
+void Controller::AddReplica(ReplicaNode* node, net::NodeId donor,
+                            std::function<void(Status)> on_done) {
+  net::NodeId new_id = node->id();
+  ReplicaInfo info;
+  info.node = node;
+  info.state = ReplicaState::kResyncing;
+  replicas_[new_id] = info;
+  node->SetController(id());
+  detector_->Watch(new_id);
+  add_callbacks_[new_id] = std::move(on_done);
+
+  // 1) Hot backup from the donor (with metadata + sequences: a proper
+  //    clone; see the C13 bench for what data-only backups break).
+  engine::BackupOptions opts;
+  opts.include_metadata = true;
+  opts.include_sequences = true;
+  uint64_t req = next_req_++;
+  backup_waiters_[req] = [this, new_id](const BackupReplyMsg& reply) {
+    auto fail = [this, new_id](Status status) {
+      auto cb = add_callbacks_.find(new_id);
+      if (cb != add_callbacks_.end()) {
+        auto fn = std::move(cb->second);
+        add_callbacks_.erase(cb);
+        replicas_.erase(new_id);
+        fn(status);
+      }
+    };
+    if (!reply.status.ok()) {
+      fail(reply.status);
+      return;
+    }
+    // 2) Restore onto the new replica.
+    uint64_t rreq = next_req_++;
+    restore_waiters_[rreq] = [this, new_id,
+                              fail](const RestoreReplyMsg& rreply) {
+      if (!rreply.status.ok()) {
+        fail(rreply.status);
+        return;
+      }
+      // 3) Replay the recovery-log tail, then the replica goes online via
+      //    the normal resync completion path.
+      UpdateSubscriptions();
+      StartResync(new_id);
+    };
+    RestoreMsg rmsg;
+    rmsg.req_id = rreq;
+    rmsg.image = reply.image;
+    rmsg.as_of_version = reply.as_of_version;
+    dispatcher_->Send(new_id, kMsgRestore, rmsg, rmsg.image.SizeBytes() + 128);
+  };
+  BackupMsg msg;
+  msg.req_id = req;
+  msg.options = opts;
+  dispatcher_->Send(donor, kMsgBackup, msg, 128);
+}
+
+void Controller::RollingUpgrade(int target_version,
+                                sim::Duration upgrade_duration,
+                                std::function<void(Status)> on_done) {
+  std::vector<net::NodeId> ids;
+  for (const auto& [id, info] : replicas_) {
+    (void)info;
+    ids.push_back(id);
+  }
+  UpgradeNext(std::move(ids), target_version, upgrade_duration,
+              std::move(on_done));
+}
+
+void Controller::UpgradeNext(std::vector<net::NodeId> remaining,
+                             int target_version,
+                             sim::Duration upgrade_duration,
+                             std::function<void(Status)> on_done) {
+  // Skip replicas already on the target version.
+  while (!remaining.empty()) {
+    ReplicaInfo* info = Info(remaining.back());
+    if (info == nullptr ||
+        info->node->software_version() >= target_version) {
+      remaining.pop_back();
+      continue;
+    }
+    break;
+  }
+  if (remaining.empty()) {
+    if (on_done) on_done(Status::OK());
+    return;
+  }
+  net::NodeId target = remaining.back();
+  remaining.pop_back();
+  ReplicaInfo* info = Info(target);
+  REPLIDB_LOG(Info) << "controller: upgrading replica " << target << " to v"
+                    << target_version;
+  // Planned maintenance: checkpoint + take the node down.
+  RemoveReplica(target);
+  info->node->Crash();
+  sim_->Schedule(upgrade_duration, [this, target, remaining, target_version,
+                                    upgrade_duration, on_done] {
+    ReplicaInfo* info2 = Info(target);
+    if (info2 == nullptr) {
+      if (on_done) on_done(Status::NotFound("replica vanished mid-upgrade"));
+      return;
+    }
+    info2->node->set_software_version(target_version);
+    info2->node->Restart();
+    StartResync(target);
+    // Wait for the rejoin to finish, then move to the next node.
+    auto poll = std::make_shared<std::function<void()>>();
+    *poll = [this, target, remaining, target_version, upgrade_duration,
+             on_done, poll] {
+      ReplicaInfo* info3 = Info(target);
+      if (info3 == nullptr) {
+        if (on_done) on_done(Status::NotFound("replica vanished mid-upgrade"));
+        return;
+      }
+      if (info3->state != ReplicaState::kOnline) {
+        sim_->Schedule(200 * sim::kMillisecond, *poll);
+        return;
+      }
+      UpgradeNext(remaining, target_version, upgrade_duration, on_done);
+    };
+    sim_->Schedule(200 * sim::kMillisecond, *poll);
+  });
+}
+
+void Controller::RemoveReplica(net::NodeId replica) {
+  ReplicaInfo* info = Info(replica);
+  if (info == nullptr) return;
+  info->state = ReplicaState::kDown;
+  recovery_log_.SetCheckpoint(replica, info->applied);
+  if (replica == master_) PromoteNewMaster();
+}
+
+void Controller::RejoinReplica(net::NodeId replica) { StartResync(replica); }
+
+void Controller::CloneInto(net::NodeId target, net::NodeId donor) {
+  engine::BackupOptions opts;
+  opts.include_metadata = true;
+  opts.include_sequences = true;
+  uint64_t req = next_req_++;
+  backup_waiters_[req] = [this, target](const BackupReplyMsg& reply) {
+    ReplicaInfo* info = Info(target);
+    if (info == nullptr) return;
+    if (!reply.status.ok()) {
+      info->state = ReplicaState::kDown;  // Retry on the next rejoin.
+      return;
+    }
+    uint64_t rreq = next_req_++;
+    restore_waiters_[rreq] = [this, target](const RestoreReplyMsg& rreply) {
+      ReplicaInfo* info2 = Info(target);
+      if (info2 == nullptr) return;
+      if (!rreply.status.ok()) {
+        info2->state = ReplicaState::kDown;
+        return;
+      }
+      StartResync(target);
+    };
+    RestoreMsg rmsg;
+    rmsg.req_id = rreq;
+    rmsg.image = reply.image;
+    rmsg.as_of_version = reply.as_of_version;
+    dispatcher_->Send(target, kMsgRestore, rmsg, rmsg.image.SizeBytes() + 128);
+  };
+  BackupMsg msg;
+  msg.req_id = req;
+  msg.options = opts;
+  dispatcher_->Send(donor, kMsgBackup, msg, 128);
+}
+
+// ---------------------------------------------------------------------------
+// Controller SPOF
+
+void Controller::Crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  ++epoch_;
+  network_->CrashNode(id());
+  pending_.clear();  // In-flight client txns die; drivers time out.
+  active_client_reqs_.clear();
+  completed_writes_.clear();  // Soft state: exactly-once dies with it (§3.2).
+}
+
+void Controller::Restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  ++epoch_;
+  network_->RestartNode(id());
+  std::fill(workers_free_.begin(), workers_free_.end(), sim_->Now());
+  // Rebuild soft state from the replicas (the costly part the paper notes
+  // is "rarely described and almost never evaluated", §3.2).
+  global_version_ = 0;
+  for (auto& [id2, info] : replicas_) {
+    (void)id2;
+    info.outstanding = 0;
+    info.applied = info.node->applied_version();
+    global_version_ = std::max(global_version_, info.applied);
+  }
+}
+
+}  // namespace replidb::middleware

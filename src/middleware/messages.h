@@ -1,0 +1,162 @@
+#ifndef REPLIDB_MIDDLEWARE_MESSAGES_H_
+#define REPLIDB_MIDDLEWARE_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/rdbms.h"
+#include "engine/types.h"
+#include "middleware/common.h"
+
+namespace replidb::middleware {
+
+/// Wire messages between controller and replica nodes. Bodies travel in
+/// net::Message::body as std::any (everything is in-process); sizes are
+/// modelled explicitly for the bandwidth cost.
+
+/// Message type tags.
+inline constexpr char kMsgExec[] = "rep.exec";
+inline constexpr char kMsgExecReply[] = "rep.exec.r";
+inline constexpr char kMsgFinish[] = "rep.finish";
+inline constexpr char kMsgFinishReply[] = "rep.finish.r";
+inline constexpr char kMsgApply[] = "rep.apply";
+inline constexpr char kMsgShipAck[] = "rep.ship.ack";
+inline constexpr char kMsgProgress[] = "rep.progress";
+inline constexpr char kMsgBackup[] = "rep.backup";
+inline constexpr char kMsgBackupReply[] = "rep.backup.r";
+inline constexpr char kMsgRestore[] = "rep.restore";
+inline constexpr char kMsgRestoreReply[] = "rep.restore.r";
+
+/// Controller -> replica: execute a transaction.
+struct ExecTxnMsg {
+  uint64_t req_id = 0;
+  std::vector<std::string> statements;
+  bool read_only = false;
+  /// Ordered execution slot for statement-mode writes; 0 = unordered.
+  GlobalVersion order = 0;
+  /// Keep the transaction open and return its writeset without committing
+  /// (certification mode). A later FinishTxnMsg decides the outcome.
+  bool hold_commit = false;
+  /// 2-safe support: how many ship-acks the replica must collect before
+  /// replying success for this write (0 = reply at local commit, 1-safe).
+  int sync_ack_count = 0;
+  /// Collect rows from the last SELECT into the reply.
+  bool collect_rows = true;
+  /// Freshness gate: the replica defers execution until its applied
+  /// version reaches this (session PCSI / strong SI routing).
+  GlobalVersion min_version = 0;
+  /// Tables this transaction touches (memory-aware cache model).
+  std::vector<std::string> tables;
+};
+
+/// Client driver -> controller: run a transaction.
+struct ClientTxnMsg {
+  uint64_t req_id = 0;
+  TxnRequest request;
+  /// The session's last observed version (read-your-writes).
+  GlobalVersion last_seen_version = 0;
+};
+
+/// Controller -> client driver.
+struct ClientTxnReply {
+  uint64_t req_id = 0;
+  TxnResult result;
+};
+
+inline constexpr char kMsgClientTxn[] = "mw.txn";
+inline constexpr char kMsgClientTxnReply[] = "mw.txn.r";
+
+/// Active controller -> standby controller: durable-state mirroring
+/// (recovery-log entry + version counter). §3.2: replicating the
+/// stateful middleware costs "extra communication and synchronization".
+struct MirrorMsg {
+  uint64_t seq = 0;
+  ReplicationEntry entry;
+  GlobalVersion global_version = 0;
+};
+
+struct MirrorAckMsg {
+  uint64_t seq = 0;
+};
+
+inline constexpr char kMsgMirror[] = "mw.mirror";
+inline constexpr char kMsgMirrorAck[] = "mw.mirror.ack";
+
+/// Replica -> controller: transaction outcome.
+struct ExecTxnReply {
+  uint64_t req_id = 0;
+  Status status;
+  engine::Writeset writeset;          ///< Captured writes (hold or commit).
+  std::vector<std::string> statements; ///< Binlogged statement texts.
+  /// Versions this replica assigned while committing (master-slave mode:
+  /// the master is the version authority). 0 when hold_commit or read.
+  GlobalVersion committed_version = 0;
+  uint64_t replica_applied_version = 0;  ///< Freshness at execution time.
+  std::vector<sql::Row> rows;            ///< Last SELECT's rows.
+  int64_t cost_us = 0;
+};
+
+/// Controller -> replica: resolve a held transaction (certification).
+struct FinishTxnMsg {
+  uint64_t req_id = 0;   ///< Matches the ExecTxnMsg that held the txn.
+  bool commit = false;
+  GlobalVersion version = 0;  ///< Slot in the global order when committing.
+  /// The certified entry (commit only): if the origin's held transaction
+  /// died meanwhile (killed by a conflicting apply, crash recovery), the
+  /// origin applies these row images instead — a certified transaction
+  /// must commit everywhere.
+  ReplicationEntry entry;
+};
+
+struct FinishTxnReply {
+  uint64_t req_id = 0;
+  Status status;
+  GlobalVersion version = 0;
+};
+
+/// Replication stream item (master ship, certified apply, or resync
+/// replay). `skip` marks the origin replica's own slot.
+struct ApplyMsg {
+  ReplicationEntry entry;
+  bool skip = false;
+  /// If >0, the receiver acks receipt to the sender (2-safe shipping).
+  bool ack_requested = false;
+};
+
+struct ShipAckMsg {
+  GlobalVersion version = 0;
+};
+
+/// Replica -> controller freshness beacon.
+struct ProgressMsg {
+  GlobalVersion applied_version = 0;
+};
+
+struct BackupMsg {
+  uint64_t req_id = 0;
+  engine::BackupOptions options;
+};
+
+struct BackupReplyMsg {
+  uint64_t req_id = 0;
+  Status status;
+  engine::BackupImage image;
+  GlobalVersion as_of_version = 0;
+};
+
+struct RestoreMsg {
+  uint64_t req_id = 0;
+  engine::BackupImage image;
+  GlobalVersion as_of_version = 0;
+};
+
+struct RestoreReplyMsg {
+  uint64_t req_id = 0;
+  Status status;
+};
+
+}  // namespace replidb::middleware
+
+#endif  // REPLIDB_MIDDLEWARE_MESSAGES_H_

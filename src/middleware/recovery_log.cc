@@ -1,0 +1,52 @@
+#include "middleware/recovery_log.h"
+
+namespace replidb::middleware {
+
+void RecoveryLog::Append(ReplicationEntry entry) {
+  GlobalVersion v = entry.version;
+  entries_[v] = std::move(entry);
+}
+
+std::vector<ReplicationEntry> RecoveryLog::Range(GlobalVersion after,
+                                                 GlobalVersion up_to) const {
+  std::vector<ReplicationEntry> out;
+  for (auto it = entries_.upper_bound(after);
+       it != entries_.end() && it->first <= up_to; ++it) {
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+void RecoveryLog::SetCheckpoint(net::NodeId replica, GlobalVersion version) {
+  checkpoints_[replica] = version;
+}
+
+GlobalVersion RecoveryLog::Checkpoint(net::NodeId replica) const {
+  auto it = checkpoints_.find(replica);
+  return it == checkpoints_.end() ? 0 : it->second;
+}
+
+size_t RecoveryLog::TruncateThrough(GlobalVersion version) {
+  GlobalVersion min_checkpoint = version;
+  for (const auto& [node, cp] : checkpoints_) {
+    (void)node;
+    min_checkpoint = std::min(min_checkpoint, cp);
+  }
+  size_t dropped = 0;
+  while (!entries_.empty() && entries_.begin()->first <= min_checkpoint) {
+    entries_.erase(entries_.begin());
+    ++dropped;
+  }
+  return dropped;
+}
+
+int64_t RecoveryLog::SizeBytes() const {
+  int64_t bytes = 0;
+  for (const auto& [v, e] : entries_) {
+    (void)v;
+    bytes += e.SizeBytes();
+  }
+  return bytes;
+}
+
+}  // namespace replidb::middleware

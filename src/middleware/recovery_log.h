@@ -1,0 +1,49 @@
+#ifndef REPLIDB_MIDDLEWARE_RECOVERY_LOG_H_
+#define REPLIDB_MIDDLEWARE_RECOVERY_LOG_H_
+
+#include <map>
+#include <vector>
+
+#include "middleware/common.h"
+#include "net/network.h"
+
+namespace replidb::middleware {
+
+/// \brief Sequoia-style recovery log (§4.4.2): the controller records every
+/// replicated transaction, indexed by global version, plus per-replica
+/// checkpoints. A replica that leaves the cluster (failure or maintenance)
+/// is resynchronized by replaying the log from its checkpoint; a replica
+/// initialized from a backup replays from the backup's version watermark.
+class RecoveryLog {
+ public:
+  /// Appends an entry (versions must be recorded in increasing order;
+  /// gaps are allowed after failovers and are skipped at replay).
+  void Append(ReplicationEntry entry);
+
+  /// Entries with version in (after, up_to].
+  std::vector<ReplicationEntry> Range(GlobalVersion after,
+                                      GlobalVersion up_to) const;
+
+  /// Records that `replica` is known to have applied everything up to
+  /// `version` (checkpoint inserted when a node leaves, §4.4.2).
+  void SetCheckpoint(net::NodeId replica, GlobalVersion version);
+  GlobalVersion Checkpoint(net::NodeId replica) const;
+
+  /// Discards entries at or below `version` that every checkpoint has
+  /// passed (log truncation). Returns how many entries were dropped.
+  size_t TruncateThrough(GlobalVersion version);
+
+  size_t size() const { return entries_.size(); }
+  GlobalVersion last_version() const {
+    return entries_.empty() ? 0 : entries_.rbegin()->first;
+  }
+  int64_t SizeBytes() const;
+
+ private:
+  std::map<GlobalVersion, ReplicationEntry> entries_;
+  std::map<net::NodeId, GlobalVersion> checkpoints_;
+};
+
+}  // namespace replidb::middleware
+
+#endif  // REPLIDB_MIDDLEWARE_RECOVERY_LOG_H_

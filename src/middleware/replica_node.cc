@@ -1,0 +1,718 @@
+#include "middleware/replica_node.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace replidb::middleware {
+
+const char* ReplicationModeName(ReplicationMode mode) {
+  switch (mode) {
+    case ReplicationMode::kMasterSlaveAsync:
+      return "master-slave-async(1-safe)";
+    case ReplicationMode::kMasterSlaveSync:
+      return "master-slave-sync(2-safe)";
+    case ReplicationMode::kMultiMasterStatement:
+      return "multi-master-statement";
+    case ReplicationMode::kMultiMasterCertification:
+      return "multi-master-certification";
+  }
+  return "?";
+}
+
+const char* ConsistencyLevelName(ConsistencyLevel level) {
+  switch (level) {
+    case ConsistencyLevel::kEventual:
+      return "eventual";
+    case ConsistencyLevel::kSessionPCSI:
+      return "session-pcsi";
+    case ConsistencyLevel::kStrongSI:
+      return "strong-si";
+    case ConsistencyLevel::kOneCopySerializability:
+      return "1sr";
+  }
+  return "?";
+}
+
+ReplicaNode::ReplicaNode(sim::Simulator* sim, net::Network* network,
+                         net::NodeId node, engine::RdbmsOptions engine_options,
+                         ReplicaOptions options, net::SiteId site)
+    : sim_(sim),
+      network_(network),
+      options_(options),
+      engine_options_(engine_options) {
+  dispatcher_ = std::make_unique<net::Dispatcher>(network, node, site);
+  engine_ = std::make_unique<engine::Rdbms>(engine_options_);
+  hb_responder_ = std::make_unique<net::HeartbeatResponder>(sim_, dispatcher_.get());
+  ka_responder_ = std::make_unique<net::TcpKeepAliveResponder>(dispatcher_.get());
+
+  workers_free_.assign(static_cast<size_t>(options_.capacity), 0);
+  apply_workers_free_.assign(static_cast<size_t>(options_.apply_workers), 0);
+
+  dispatcher_->On(kMsgExec, [this](const net::Message& m) { HandleExec(m); });
+  dispatcher_->On(kMsgFinish, [this](const net::Message& m) { HandleFinish(m); });
+  dispatcher_->On(kMsgApply, [this](const net::Message& m) { HandleApply(m); });
+  dispatcher_->On(kMsgShipAck, [this](const net::Message& m) {
+    auto body = std::any_cast<ShipAckMsg>(m.body);
+    auto it = pending_sync_.find(body.version);
+    if (it == pending_sync_.end()) return;
+    if (--it->second.acks_needed <= 0) {
+      auto on_acked = std::move(it->second.on_acked);
+      pending_sync_.erase(it);
+      if (on_acked) on_acked();
+    }
+  });
+  dispatcher_->On(kMsgBackup, [this](const net::Message& m) { HandleBackup(m); });
+  dispatcher_->On(kMsgRestore, [this](const net::Message& m) { HandleRestore(m); });
+
+  ship_task_ = std::make_unique<sim::PeriodicTask>(
+      sim_, options_.ship_interval, [this] {
+        if (!crashed_) ShipCommitted();
+      });
+  ship_task_->Start();
+}
+
+ReplicaNode::~ReplicaNode() { ship_task_->Stop(); }
+
+void ReplicaNode::SetSubscribers(std::vector<net::NodeId> subscribers) {
+  subscribers_ = std::move(subscribers);
+}
+
+engine::ExecResult ReplicaNode::AdminExec(const std::string& sql) {
+  Result<engine::SessionId> s = engine_->Connect();
+  REPLIDB_CHECK(s.ok(), "admin connect failed");
+  engine::ExecResult r = engine_->Execute(s.value(), sql);
+  engine_->Disconnect(s.value());
+  return r;
+}
+
+int64_t ReplicaNode::QueueDepth() const {
+  int64_t busy = 0;
+  for (sim::TimePoint t : workers_free_) {
+    if (t > sim_->Now()) ++busy;
+  }
+  return busy;
+}
+
+uint64_t ReplicaNode::unshipped_entries() const {
+  return engine_->binlog().size() - binlog_shipped_index_;
+}
+
+void ReplicaNode::Crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  ++epoch_;
+  network_->CrashNode(id());
+  // In-flight and queued work is gone; held transactions die with their
+  // sessions; sync-commit waits never resolve (controller times out).
+  for (auto& [req, held] : held_) {
+    (void)req;
+    if (engine_->HasSession(held.session)) engine_->Disconnect(held.session);
+  }
+  held_.clear();
+  pending_sync_.clear();
+  ordered_buffer_.clear();
+  ordered_exec_.clear();
+  ordered_finish_.clear();
+  waiting_reads_.clear();
+  // The durable position after a crash is the larger of:
+  //  - engine_applied_: the replication-stream slot reached (slots consumed
+  //    by failed/aborted items advance it without an engine commit), and
+  //  - the engine's commit_seq: a master's own commits never flow through
+  //    the ordered stream but share the same numbering.
+  // Using either alone makes the controller replay entries the replica
+  // already incorporated — double-applying non-idempotent statements.
+  engine_applied_ = std::max(engine_applied_, engine_->last_commit_seq());
+  applied_version_ = engine_applied_;
+  if (options_.lose_data_on_crash) {
+    engine_ = std::make_unique<engine::Rdbms>(engine_options_);
+    applied_version_ = 0;
+    engine_applied_ = 0;
+    binlog_shipped_index_ = 0;
+    last_shipped_ = 0;
+  }
+}
+
+void ReplicaNode::Restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  ++epoch_;
+  network_->RestartNode(id());
+  sim::TimePoint now = sim_->Now();
+  std::fill(workers_free_.begin(), workers_free_.end(), now);
+  std::fill(apply_workers_free_.begin(), apply_workers_free_.end(), now);
+  conflict_key_completion_.clear();
+  last_ordered_completion_ = now;
+}
+
+// ---------------------------------------------------------------------------
+// Exec path
+
+void ReplicaNode::HandleExec(const net::Message& m) {
+  if (crashed_) return;
+  auto msg = std::any_cast<ExecTxnMsg>(m.body);
+  if (msg.order > 0) {
+    // Ordered write (statement-mode): enters the replication stream.
+    if (msg.order <= applied_version_ || ordered_buffer_.count(msg.order)) {
+      return;  // Duplicate.
+    }
+    ApplyMsg as_apply;
+    as_apply.entry.version = msg.order;
+    as_apply.entry.statements = msg.statements;
+    as_apply.entry.use_statements = true;
+    ordered_buffer_[msg.order] = std::move(as_apply);
+    ordered_exec_[msg.order] = std::make_pair(msg, m.from);
+    DrainOrderedBuffer();
+    return;
+  }
+
+  if (msg.min_version > applied_version_) {
+    // Freshness-gated read: wait until the replication stream catches up
+    // to the client's required version (session PCSI / strong SI).
+    waiting_reads_.emplace_back(msg, m.from);
+    return;
+  }
+  StartUnorderedExec(msg, m.from);
+}
+
+void ReplicaNode::StartUnorderedExec(const ExecTxnMsg& msg, net::NodeId from) {
+  ExecTxnReply reply;
+  reply.req_id = msg.req_id;
+  RunTransaction(msg, from, &reply);
+  int64_t cost = TouchCache(msg.tables, reply.cost_us);
+  sim::TimePoint done = ChargeWorker(cost);
+  uint64_t epoch = epoch_;
+  bool success_write =
+      reply.status.ok() && !msg.read_only && reply.committed_version > 0;
+  int sync_count = msg.sync_ack_count;
+
+  auto send_reply = [this, from, reply]() {
+    dispatcher_->Send(from, kMsgExecReply, reply,
+                      reply.writeset.SizeBytes() + 256);
+  };
+
+  sim_->ScheduleAt(done, [this, epoch, send_reply, success_write, sync_count,
+                          reply] {
+    if (epoch != epoch_ || crashed_) return;
+    if (success_write && reply.committed_version > applied_version_) {
+      applied_version_ = reply.committed_version;
+      SendProgress();
+      DrainWaitingReads();
+    }
+    if (success_write && sync_count > 0 && !subscribers_.empty()) {
+      // 2-safe: ship now and withhold the reply until enough slaves acked.
+      PendingSync ps;
+      ps.acks_needed = std::min<int>(sync_count,
+                                     static_cast<int>(subscribers_.size()));
+      ps.on_acked = send_reply;
+      pending_sync_[reply.committed_version] = std::move(ps);
+      ShipCommitted(/*sync_acks_for_version=*/1, reply.committed_version);
+      return;
+    }
+    send_reply();
+  });
+}
+
+void ReplicaNode::RunTransaction(const ExecTxnMsg& msg, net::NodeId from,
+                                 ExecTxnReply* reply) {
+  Result<engine::SessionId> sid = engine_->Connect();
+  if (!sid.ok()) {
+    reply->status = sid.status();
+    return;
+  }
+  engine::SessionId session = sid.value();
+  int64_t cost = 0;
+  size_t binlog_before = engine_->binlog().size();
+
+  engine::ExecResult begin = engine_->Execute(session, "BEGIN");
+  cost += begin.cost_us;
+  Status status = begin.status;
+  std::vector<sql::Row> last_rows;
+  if (status.ok()) {
+    for (const std::string& stmt : msg.statements) {
+      engine::ExecResult r = engine_->Execute(session, stmt);
+      cost += r.cost_us;
+      if (!r.ok()) {
+        status = r.status;
+        break;
+      }
+      if (!r.rows.empty() && msg.collect_rows) last_rows = std::move(r.rows);
+    }
+  }
+
+  reply->replica_applied_version = applied_version_;
+  reply->rows = std::move(last_rows);
+
+  if (!status.ok()) {
+    engine_->Execute(session, "ROLLBACK");
+    engine_->Disconnect(session);
+    reply->status = status;
+    reply->cost_us = cost;
+    return;
+  }
+
+  if (msg.hold_commit) {
+    // Certification mode: expose the writeset, keep the txn open.
+    const engine::Writeset* ws = engine_->CurrentWriteset(session);
+    HeldTxn held;
+    held.session = session;
+    if (ws != nullptr) held.writeset = *ws;
+    held.from = from;
+    reply->writeset = held.writeset;
+    reply->cost_us = cost;
+    held_[msg.req_id] = std::move(held);
+    return;
+  }
+
+  const engine::Writeset* ws = engine_->CurrentWriteset(session);
+  if (ws != nullptr) reply->writeset = *ws;
+  engine::ExecResult commit = engine_->Execute(session, "COMMIT");
+  cost += commit.cost_us;
+  engine_->Disconnect(session);
+  reply->status = commit.status;
+  reply->cost_us = cost;
+  if (commit.status.ok() && engine_->binlog().size() > binlog_before) {
+    reply->committed_version = engine_->last_commit_seq();
+    // A master's own commits share the global numbering: keep the ordered
+    // stream position in sync so a later demotion (e.g. a controller
+    // failover electing a different master) leaves no phantom gap.
+    engine_applied_ = std::max(engine_applied_, reply->committed_version);
+    for (size_t i = binlog_before; i < engine_->binlog().size(); ++i) {
+      for (const std::string& s : engine_->binlog()[i].statements) {
+        reply->statements.push_back(s);
+      }
+    }
+  }
+}
+
+void ReplicaNode::HandleFinish(const net::Message& m) {
+  if (crashed_) return;
+  auto msg = std::any_cast<FinishTxnMsg>(m.body);
+  auto it = held_.find(msg.req_id);
+  if (it == held_.end()) {
+    if (msg.commit) {
+      // The held transaction died (killed by a conflicting apply or lost
+      // in a crash), but the transaction is certified: it must commit
+      // everywhere. Consume the version slot by applying the row images.
+      ApplyMsg fallback;
+      fallback.entry = msg.entry;
+      if (msg.version > engine_applied_ &&
+          !ordered_buffer_.count(msg.version)) {
+        ordered_buffer_[msg.version] = std::move(fallback);
+        DrainOrderedBuffer();
+      }
+      FinishTxnReply reply;
+      reply.req_id = msg.req_id;
+      reply.version = msg.version;
+      dispatcher_->Send(m.from, kMsgFinishReply, reply, 64);
+      return;
+    }
+    FinishTxnReply reply;
+    reply.req_id = msg.req_id;
+    reply.status =
+        Status::Aborted("held transaction was killed (apply conflict or crash)");
+    dispatcher_->Send(m.from, kMsgFinishReply, reply, 64);
+    return;
+  }
+  if (!msg.commit) {
+    engine_->Execute(it->second.session, "ROLLBACK");
+    engine_->Disconnect(it->second.session);
+    held_.erase(it);
+    FinishTxnReply reply;
+    reply.req_id = msg.req_id;
+    dispatcher_->Send(m.from, kMsgFinishReply, reply, 64);
+    return;
+  }
+  // Commit consumes the transaction's slot in the global order.
+  ApplyMsg slot;
+  slot.entry.version = msg.version;
+  slot.skip = true;  // Engine work happens via the held session.
+  ordered_buffer_[msg.version] = std::move(slot);
+  ordered_finish_[msg.version] = std::make_pair(msg, m.from);
+  DrainOrderedBuffer();
+}
+
+// ---------------------------------------------------------------------------
+// Ordered replication stream
+
+void ReplicaNode::HandleApply(const net::Message& m) {
+  if (crashed_) return;
+  auto msg = std::any_cast<ApplyMsg>(m.body);
+  GlobalVersion v = msg.entry.version;
+  if (v <= applied_version_ || v <= engine_applied_ ||
+      ordered_buffer_.count(v)) {
+    // Duplicate (e.g. resync replay overlapping the master's own ship).
+    if (msg.ack_requested) {
+      dispatcher_->Send(m.from, kMsgShipAck, ShipAckMsg{v}, 48);
+    }
+    return;
+  }
+  if (msg.ack_requested) {
+    // Receipt ack (2-safe is about receipt, not application).
+    dispatcher_->Send(m.from, kMsgShipAck, ShipAckMsg{v}, 48);
+    msg.ack_requested = false;
+  }
+  ordered_buffer_[v] = std::move(msg);
+  DrainOrderedBuffer();
+}
+
+void ReplicaNode::DrainOrderedBuffer() {
+  while (true) {
+    auto it = ordered_buffer_.find(engine_applied_ + 1);
+    if (it == ordered_buffer_.end()) break;
+    GlobalVersion v = it->first;
+    ApplyMsg item = std::move(it->second);
+    ordered_buffer_.erase(it);
+    engine_applied_ = v;
+
+    int64_t cost = 0;
+    std::vector<std::string> conflict_keys;
+    ExecTxnReply exec_reply;
+    FinishTxnReply finish_reply;
+    net::NodeId reply_to = -1;
+    bool is_exec = false, is_finish = false;
+
+    auto exec_it = ordered_exec_.find(v);
+    auto fin_it = ordered_finish_.find(v);
+    if (exec_it != ordered_exec_.end()) {
+      // Ordered statement-mode transaction: re-execute here.
+      is_exec = true;
+      reply_to = exec_it->second.second;
+      ExecTxnMsg exec_msg = exec_it->second.first;
+      ordered_exec_.erase(exec_it);
+      exec_msg.hold_commit = false;
+      exec_msg.order = 0;
+      RunTransaction(exec_msg, reply_to, &exec_reply);
+      exec_reply.req_id = exec_msg.req_id;
+      cost = exec_reply.cost_us;
+      for (const std::string& k : exec_reply.writeset.ConflictKeys()) {
+        conflict_keys.push_back(k);
+      }
+    } else if (fin_it != ordered_finish_.end()) {
+      // Certification commit of a held transaction.
+      is_finish = true;
+      FinishTxnMsg fmsg = fin_it->second.first;
+      reply_to = fin_it->second.second;
+      ordered_finish_.erase(fin_it);
+      finish_reply.req_id = fmsg.req_id;
+      finish_reply.version = v;
+      auto hit = held_.find(fmsg.req_id);
+      if (hit == held_.end()) {
+        // Held txn died after the slot was reserved: apply the certified
+        // row images so the data still commits here.
+        Result<engine::CommitSeq> applied =
+            engine_->ApplyWriteset(fmsg.entry.writeset);
+        if (!applied.ok()) ++apply_errors_;
+        cost = ApplyCost(fmsg.entry);
+        for (const std::string& k : fmsg.entry.writeset.ConflictKeys()) {
+          conflict_keys.push_back(k);
+        }
+      } else {
+        engine::ExecResult commit =
+            engine_->Execute(hit->second.session, "COMMIT");
+        finish_reply.status = commit.status;
+        cost = commit.cost_us;
+        for (const std::string& k : hit->second.writeset.ConflictKeys()) {
+          conflict_keys.push_back(k);
+        }
+        engine_->Disconnect(hit->second.session);
+        held_.erase(hit);
+      }
+    } else if (!item.skip) {
+      // Replication-stream apply.
+      const ReplicationEntry& entry = item.entry;
+      if (entry.use_statements || entry.writeset.empty() ||
+          entry.writeset.incomplete) {
+        Result<engine::SessionId> sid = engine_->Connect();
+        if (sid.ok()) {
+          engine_->Execute(sid.value(), "BEGIN");
+          bool entry_ok = true;
+          for (const std::string& stmt : entry.statements) {
+            engine::ExecResult r = engine_->Execute(sid.value(), stmt);
+            cost += r.cost_us;
+            if (!r.ok()) {
+              entry_ok = false;
+              break;
+            }
+          }
+          if (entry_ok) {
+            engine::ExecResult commit = engine_->Execute(sid.value(), "COMMIT");
+            cost += commit.cost_us;
+          } else {
+            // Mirror live execution: a failing transaction rolls back in
+            // full everywhere, so deterministic aborts stay convergent.
+            engine_->Execute(sid.value(), "ROLLBACK");
+            ++apply_errors_;
+          }
+          engine_->Disconnect(sid.value());
+        }
+        // Coarse conflict granularity for statement apply: whole stream.
+        conflict_keys.push_back("*");
+      } else {
+        Result<engine::CommitSeq> applied =
+            engine_->ApplyWriteset(entry.writeset);
+        if (!applied.ok() && applied.status().IsRetryableAbort() &&
+            !held_.empty()) {
+          // A local uncommitted (held) transaction blocks the certified
+          // apply. The replication stream wins: kill the held transactions
+          // whose writesets intersect this entry and retry. The victims
+          // would have failed certification against this entry anyway;
+          // their clients see a retryable abort.
+          std::set<std::string> entry_keys;
+          for (const std::string& k : entry.writeset.ConflictKeys()) {
+            entry_keys.insert(k);
+          }
+          for (auto hit = held_.begin(); hit != held_.end();) {
+            bool overlaps = false;
+            for (const std::string& k : hit->second.writeset.ConflictKeys()) {
+              if (entry_keys.count(k)) {
+                overlaps = true;
+                break;
+              }
+            }
+            if (overlaps) {
+              if (engine_->HasSession(hit->second.session)) {
+                engine_->Execute(hit->second.session, "ROLLBACK");
+                engine_->Disconnect(hit->second.session);
+              }
+              hit = held_.erase(hit);
+            } else {
+              ++hit;
+            }
+          }
+          applied = engine_->ApplyWriteset(entry.writeset);
+        }
+        if (!applied.ok()) ++apply_errors_;
+        cost = static_cast<int64_t>(
+            options_.apply_base_us +
+            options_.apply_per_op_us *
+                static_cast<double>(entry.writeset.ops.size()));
+        for (const std::string& k : entry.writeset.ConflictKeys()) {
+          conflict_keys.push_back(k);
+        }
+      }
+    }
+
+    // --- Timing model ---
+    sim::TimePoint now = sim_->Now();
+    auto worker = std::min_element(apply_workers_free_.begin(),
+                                   apply_workers_free_.end());
+    sim::TimePoint start = std::max(now, *worker);
+    for (const std::string& k : conflict_keys) {
+      auto cit = conflict_key_completion_.find(k);
+      if (cit != conflict_key_completion_.end()) {
+        start = std::max(start, cit->second);
+      }
+      auto star = conflict_key_completion_.find("*");
+      if (star != conflict_key_completion_.end()) {
+        start = std::max(start, star->second);
+      }
+    }
+    sim::TimePoint finish = start + cost;
+    *worker = finish;
+    for (const std::string& k : conflict_keys) {
+      conflict_key_completion_[k] = finish;
+    }
+    sim::TimePoint completion = std::max(finish, last_ordered_completion_);
+    last_ordered_completion_ = completion;
+
+    uint64_t epoch = epoch_;
+    sim_->ScheduleAt(
+        completion, [this, epoch, v, is_exec, is_finish, exec_reply,
+                     finish_reply, reply_to] {
+          if (epoch != epoch_ || crashed_) return;
+          if (v > applied_version_) {
+            applied_version_ = v;
+            SendProgress();
+            DrainWaitingReads();
+          }
+          if (is_exec && reply_to >= 0) {
+            dispatcher_->Send(reply_to, kMsgExecReply, exec_reply,
+                              exec_reply.writeset.SizeBytes() + 256);
+          }
+          if (is_finish && reply_to >= 0) {
+            dispatcher_->Send(reply_to, kMsgFinishReply, finish_reply, 64);
+          }
+        });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shipping (master role)
+
+void ReplicaNode::ShipCommitted(int sync_acks_for_version,
+                                GlobalVersion sync_version) {
+  (void)sync_acks_for_version;
+  const auto& binlog = engine_->binlog();
+  bool sync_version_covered = false;
+  while (binlog_shipped_index_ < binlog.size()) {
+    const engine::BinlogEntry& be = binlog[binlog_shipped_index_];
+    ++binlog_shipped_index_;
+    ReplicationEntry entry;
+    entry.version = be.commit_seq;
+    entry.writeset = be.writeset;
+    entry.statements = be.statements;
+    // Prefer row images when they are complete; fall back to statements
+    // (DDL, PK-less tables).
+    entry.use_statements =
+        be.writeset.empty() || be.writeset.incomplete;
+    last_shipped_ = std::max<GlobalVersion>(last_shipped_, entry.version);
+    if (entry.version == sync_version) sync_version_covered = true;
+    for (net::NodeId sub : subscribers_) {
+      ApplyMsg msg;
+      msg.entry = entry;
+      msg.ack_requested = (entry.version == sync_version);
+      dispatcher_->Send(sub, kMsgApply, msg, entry.SizeBytes() + 64);
+    }
+  }
+  // 2-safe commit whose entry already left with the periodic shipper:
+  // re-send it with an ack request (receivers dedup but still ack).
+  if (sync_version > 0 && !sync_version_covered) {
+    for (size_t i = binlog.size(); i-- > 0;) {
+      const engine::BinlogEntry& be = binlog[i];
+      if (be.commit_seq != sync_version) continue;
+      ReplicationEntry entry;
+      entry.version = be.commit_seq;
+      entry.writeset = be.writeset;
+      entry.statements = be.statements;
+      entry.use_statements = be.writeset.empty() || be.writeset.incomplete;
+      for (net::NodeId sub : subscribers_) {
+        ApplyMsg msg;
+        msg.entry = entry;
+        msg.ack_requested = true;
+        dispatcher_->Send(sub, kMsgApply, msg, entry.SizeBytes() + 64);
+      }
+      break;
+    }
+  }
+}
+
+void ReplicaNode::SendProgress() {
+  if (controller_ >= 0) {
+    dispatcher_->Send(controller_, kMsgProgress,
+                      ProgressMsg{applied_version_}, 48);
+  }
+}
+
+void ReplicaNode::DrainWaitingReads() {
+  if (waiting_reads_.empty()) return;
+  std::vector<std::pair<ExecTxnMsg, net::NodeId>> still_waiting;
+  std::vector<std::pair<ExecTxnMsg, net::NodeId>> ready;
+  for (auto& [msg, from] : waiting_reads_) {
+    if (msg.min_version <= applied_version_) {
+      ready.emplace_back(std::move(msg), from);
+    } else {
+      still_waiting.emplace_back(std::move(msg), from);
+    }
+  }
+  waiting_reads_ = std::move(still_waiting);
+  for (auto& [msg, from] : ready) StartUnorderedExec(msg, from);
+}
+
+int64_t ReplicaNode::TouchCache(const std::vector<std::string>& tables,
+                                int64_t cost) {
+  if (options_.hot_table_capacity <= 0 || tables.empty()) return cost;
+  bool all_hot = true;
+  for (const std::string& t : tables) {
+    auto it = std::find(hot_tables_.begin(), hot_tables_.end(), t);
+    if (it == hot_tables_.end()) {
+      all_hot = false;
+      hot_tables_.insert(hot_tables_.begin(), t);
+      if (hot_tables_.size() >
+          static_cast<size_t>(options_.hot_table_capacity)) {
+        hot_tables_.pop_back();  // Evict the coldest table.
+      }
+    } else {
+      // Move to front (most recently used).
+      hot_tables_.erase(it);
+      hot_tables_.insert(hot_tables_.begin(), t);
+    }
+  }
+  return all_hot
+             ? cost
+             : static_cast<int64_t>(static_cast<double>(cost) *
+                                    options_.cache_miss_penalty);
+}
+
+sim::TimePoint ReplicaNode::ChargeWorker(int64_t cost_us) {
+  auto worker = std::min_element(workers_free_.begin(), workers_free_.end());
+  sim::TimePoint start = std::max(sim_->Now(), *worker);
+  *worker = start + cost_us;
+  return *worker;
+}
+
+int64_t ReplicaNode::ApplyCost(const ReplicationEntry& entry) const {
+  return static_cast<int64_t>(
+      options_.apply_base_us +
+      options_.apply_per_op_us * static_cast<double>(entry.writeset.ops.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Backup / restore endpoints
+
+void ReplicaNode::HandleBackup(const net::Message& m) {
+  if (crashed_) return;
+  auto msg = std::any_cast<BackupMsg>(m.body);
+  Result<engine::BackupImage> image = engine_->Backup(msg.options);
+  BackupReplyMsg reply;
+  reply.req_id = msg.req_id;
+  reply.as_of_version = applied_version_;
+  if (!image.ok()) {
+    reply.status = image.status();
+  } else {
+    reply.image = image.TakeValue();
+  }
+  // A backup occupies a worker for size/throughput — degrading concurrent
+  // queries on this replica (§4.4.1).
+  int64_t cost = static_cast<int64_t>(
+      static_cast<double>(reply.image.SizeBytes()) /
+      options_.backup_bytes_per_sec * sim::kSecond);
+  sim::TimePoint done = ChargeWorker(cost);
+  uint64_t epoch = epoch_;
+  net::NodeId from = m.from;
+  sim_->ScheduleAt(done, [this, epoch, from, reply] {
+    if (epoch != epoch_ || crashed_) return;
+    dispatcher_->Send(from, kMsgBackupReply, reply,
+                      reply.image.SizeBytes() + 128);
+  });
+}
+
+void ReplicaNode::HandleRestore(const net::Message& m) {
+  if (crashed_) return;
+  auto msg = std::any_cast<RestoreMsg>(m.body);
+  RestoreReplyMsg reply;
+  reply.req_id = msg.req_id;
+  reply.status = engine_->Restore(msg.image);
+  if (reply.status.ok()) {
+    applied_version_ = msg.as_of_version;
+    engine_applied_ = msg.as_of_version;
+    binlog_shipped_index_ = 0;
+    last_shipped_ = msg.as_of_version;
+  }
+  int64_t cost = static_cast<int64_t>(
+      static_cast<double>(msg.image.SizeBytes()) /
+      options_.backup_bytes_per_sec * sim::kSecond);
+  sim::TimePoint done = ChargeWorker(cost);
+  uint64_t epoch = epoch_;
+  net::NodeId from = m.from;
+  sim_->ScheduleAt(done, [this, epoch, from, reply] {
+    if (epoch != epoch_ || crashed_) return;
+    dispatcher_->Send(from, kMsgRestoreReply, reply, 128);
+  });
+}
+
+void ReplicaNode::MarkSetupComplete() {
+  GlobalVersion v = engine_->last_commit_seq();
+  applied_version_ = v;
+  engine_applied_ = v;
+  last_shipped_ = v;
+  binlog_shipped_index_ = engine_->binlog().size();
+}
+
+void ReplicaNode::SetController(net::NodeId controller) {
+  controller_ = controller;
+}
+
+}  // namespace replidb::middleware

@@ -1,0 +1,211 @@
+#ifndef REPLIDB_MIDDLEWARE_REPLICA_NODE_H_
+#define REPLIDB_MIDDLEWARE_REPLICA_NODE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/rdbms.h"
+#include "middleware/messages.h"
+#include "net/dispatcher.h"
+#include "net/failure_detector.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace replidb::middleware {
+
+/// \brief Options for a replica node.
+struct ReplicaOptions {
+  /// Concurrent query workers (connections the engine serves in parallel).
+  int capacity = 8;
+  /// Workers for applying the replication stream. 1 = strictly serial
+  /// apply (the paper's lagging hot standby, §2.2); more workers overlap
+  /// non-conflicting entries while preserving commit order.
+  int apply_workers = 1;
+  /// How often committed-but-unshipped binlog entries are pushed to
+  /// subscribers (the 1-safe loss window, §2.2).
+  sim::Duration ship_interval = 50 * sim::kMillisecond;
+  /// Apply cost model: per-writeset-op and fixed costs (µs) when applying
+  /// row images (statement re-execution uses the real engine cost).
+  double apply_base_us = 60;
+  double apply_per_op_us = 8;
+  /// Backup/restore throughput in bytes per second of simulated time.
+  double backup_bytes_per_sec = 40e6;
+  /// Memory model for the Tashkent+-style load-balancing experiment: how
+  /// many tables fit in this replica's buffer pool (0 disables the model).
+  /// Transactions whose tables are all hot run at full speed; a miss
+  /// multiplies the service cost (disk-bound execution).
+  int hot_table_capacity = 0;
+  double cache_miss_penalty = 3.0;
+  /// If true, a crash also destroys local data (disk loss): the replica
+  /// must be re-cloned rather than merely resynchronized.
+  bool lose_data_on_crash = false;
+};
+
+/// \brief A database replica: one Rdbms engine attached to a simulated
+/// cluster node, with a worker-pool queueing model, an ordered replication
+/// stream, master-side log shipping, and backup/restore endpoints.
+///
+/// All state changes happen through messages (see messages.h); the
+/// controller never touches the engine directly. Service times come from
+/// the engine's CostModel and are charged against `capacity` workers, so
+/// saturation, queueing delay, and apply lag all emerge from the model.
+class ReplicaNode {
+ public:
+  ReplicaNode(sim::Simulator* sim, net::Network* network, net::NodeId node,
+              engine::RdbmsOptions engine_options, ReplicaOptions options = {},
+              net::SiteId site = 0);
+  ~ReplicaNode();
+  ReplicaNode(const ReplicaNode&) = delete;
+  ReplicaNode& operator=(const ReplicaNode&) = delete;
+
+  net::NodeId id() const { return dispatcher_->node(); }
+  engine::Rdbms* engine() { return engine_.get(); }
+  const engine::Rdbms* engine() const { return engine_.get(); }
+
+  /// Highest global version incorporated into this replica's state.
+  GlobalVersion applied_version() const { return applied_version_; }
+  /// Used when seeding a replica out-of-band (initial load, restore).
+  void set_applied_version(GlobalVersion v) { applied_version_ = v; }
+
+  /// Nodes that receive this replica's committed entries (master role).
+  void SetSubscribers(std::vector<net::NodeId> subscribers);
+
+  /// Crash the node: network presence drops, queued work is lost. Local
+  /// data survives unless options.lose_data_on_crash.
+  void Crash();
+  /// Restart after a crash: empty queues, data as per crash semantics.
+  void Restart();
+  bool crashed() const { return crashed_; }
+
+  /// Direct (non-message) administrative access for test/bench setup —
+  /// e.g. loading the initial schema identically on every replica.
+  engine::ExecResult AdminExec(const std::string& sql);
+
+  /// Number of entries shipped to subscribers so far.
+  GlobalVersion shipped_version() const { return last_shipped_; }
+  /// Entries committed locally but not yet shipped (loss window size).
+  uint64_t unshipped_entries() const;
+
+  /// Versions queued in the ordered stream but not yet applied (lag in
+  /// entries; the paper's master/slave lag, §2.2).
+  uint64_t apply_backlog() const { return ordered_buffer_.size(); }
+
+  const ReplicaOptions& options() const { return options_; }
+
+  /// Number of currently busy workers (load probe for load balancers).
+  int64_t QueueDepth() const;
+
+  /// Snapshots the engine's post-setup state as the replication baseline:
+  /// call once on every replica after loading the identical initial
+  /// schema/data, before traffic starts.
+  void MarkSetupComplete();
+
+  /// Registers the controller that receives progress beacons.
+  void SetController(net::NodeId controller);
+
+  /// Apply-path errors observed (divergence indicator).
+  uint64_t apply_errors() const { return apply_errors_; }
+
+  /// Software version of this replica's stack (§4.4.3 rolling upgrades).
+  int software_version() const { return software_version_; }
+  void set_software_version(int v) { software_version_ = v; }
+
+ private:
+  struct HeldTxn {
+    engine::SessionId session = 0;
+    engine::Writeset writeset;
+    std::vector<std::string> statements;
+    net::NodeId from = -1;
+  };
+
+  void HandleExec(const net::Message& m);
+  void StartUnorderedExec(const ExecTxnMsg& msg, net::NodeId from);
+  void DrainWaitingReads();
+  /// Applies the hot-table cache model; returns the adjusted cost.
+  int64_t TouchCache(const std::vector<std::string>& tables, int64_t cost);
+  void HandleFinish(const net::Message& m);
+  void HandleApply(const net::Message& m);
+  void HandleBackup(const net::Message& m);
+  void HandleRestore(const net::Message& m);
+
+  /// Runs statements in one engine transaction; fills reply fields.
+  /// If hold_commit, leaves the transaction open in held_.
+  void RunTransaction(const ExecTxnMsg& msg, net::NodeId from,
+                      ExecTxnReply* reply);
+
+  /// Applies contiguous buffered versions to the engine and schedules
+  /// their timed completions.
+  void DrainOrderedBuffer();
+
+  /// Charges `cost` against the unordered worker pool; returns completion
+  /// time.
+  sim::TimePoint ChargeWorker(int64_t cost_us);
+
+  /// Ships binlog-derived entries committed after last_shipped_.
+  void ShipCommitted(int sync_acks_for_version = 0,
+                     GlobalVersion sync_version = 0);
+
+  void SendProgress();
+
+  int64_t ApplyCost(const ReplicationEntry& entry) const;
+
+  sim::Simulator* sim_;
+  net::Network* network_;
+  std::unique_ptr<net::Dispatcher> dispatcher_;
+  std::unique_ptr<engine::Rdbms> engine_;
+  ReplicaOptions options_;
+  engine::RdbmsOptions engine_options_;
+
+  std::unique_ptr<net::HeartbeatResponder> hb_responder_;
+  std::unique_ptr<net::TcpKeepAliveResponder> ka_responder_;
+
+  bool crashed_ = false;
+  uint64_t epoch_ = 0;  ///< Bumped on crash; stale timers no-op.
+
+  // Unordered worker pool (reads + master writes).
+  std::vector<sim::TimePoint> workers_free_;
+
+  // Ordered replication stream. `engine_applied_` advances synchronously
+  // as entries reach the engine; `applied_version_` advances at the timed
+  // completion (what the outside world observes).
+  GlobalVersion applied_version_ = 0;
+  GlobalVersion engine_applied_ = 0;
+  std::map<GlobalVersion, ApplyMsg> ordered_buffer_;
+  std::map<GlobalVersion, std::pair<ExecTxnMsg, net::NodeId>> ordered_exec_;
+  std::map<GlobalVersion, std::pair<FinishTxnMsg, net::NodeId>> ordered_finish_;
+  sim::TimePoint last_ordered_completion_ = 0;
+  std::vector<sim::TimePoint> apply_workers_free_;
+  std::map<std::string, sim::TimePoint> conflict_key_completion_;
+  uint64_t apply_errors_ = 0;
+
+  // Master shipping.
+  std::vector<net::NodeId> subscribers_;
+  GlobalVersion last_shipped_ = 0;
+  size_t binlog_shipped_index_ = 0;
+  std::unique_ptr<sim::PeriodicTask> ship_task_;
+  // 2-safe bookkeeping: version -> (acks outstanding, reply closure).
+  struct PendingSync {
+    int acks_needed = 0;
+    std::function<void()> on_acked;
+  };
+  std::map<GlobalVersion, PendingSync> pending_sync_;
+
+  // Held (uncommitted) transactions for certification mode.
+  std::unordered_map<uint64_t, HeldTxn> held_;
+
+  // Freshness-gated reads waiting for applied_version_ >= min_version.
+  std::vector<std::pair<ExecTxnMsg, net::NodeId>> waiting_reads_;
+
+  // Hot-table LRU (memory-aware LB experiment). Front = most recent.
+  std::vector<std::string> hot_tables_;
+
+  net::NodeId controller_ = -1;  ///< Set by the controller at registration.
+  int software_version_ = 1;
+};
+
+}  // namespace replidb::middleware
+
+#endif  // REPLIDB_MIDDLEWARE_REPLICA_NODE_H_

@@ -1,0 +1,73 @@
+#ifndef REPLIDB_NET_DISPATCHER_H_
+#define REPLIDB_NET_DISPATCHER_H_
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/network.h"
+
+namespace replidb::net {
+
+/// \brief Per-node message dispatcher.
+///
+/// A node usually hosts several protocol participants (heartbeat responder,
+/// replication endpoint, group-communication member...). Dispatcher is
+/// installed as the node's single Network handler and routes messages by
+/// their `type` prefix. Unmatched messages are dropped (counted).
+class Dispatcher {
+ public:
+  /// Creates and registers the dispatcher as `node`'s handler.
+  Dispatcher(Network* network, NodeId node, SiteId site = 0)
+      : network_(network), node_(node) {
+    network_->RegisterNode(
+        node, [this](const Message& m) { Dispatch(m); }, site);
+  }
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+
+  NodeId node() const { return node_; }
+  Network* network() { return network_; }
+
+  /// Subscribes a handler to messages of `type`. Multiple components may
+  /// subscribe to the same type (e.g. two failure detectors sharing one
+  /// node); each receives every matching message and filters what it
+  /// does not own.
+  void On(const std::string& type, MessageHandler handler) {
+    handlers_[type].push_back(std::move(handler));
+  }
+
+  /// Removes all handlers for a type (e.g. component being upgraded).
+  void Off(const std::string& type) { handlers_.erase(type); }
+
+  /// Sends from this node.
+  bool Send(NodeId to, std::string type, std::any body,
+            int64_t size_bytes = 256) {
+    return network_->Send(node_, to, std::move(type), std::move(body),
+                          size_bytes);
+  }
+
+  uint64_t unmatched_messages() const { return unmatched_; }
+
+ private:
+  void Dispatch(const Message& m) {
+    auto it = handlers_.find(m.type);
+    if (it == handlers_.end() || it->second.empty()) {
+      ++unmatched_;
+      return;
+    }
+    // Copy: a handler may (un)subscribe while running.
+    std::vector<MessageHandler> handlers = it->second;
+    for (MessageHandler& h : handlers) h(m);
+  }
+
+  Network* network_;
+  NodeId node_;
+  std::unordered_map<std::string, std::vector<MessageHandler>> handlers_;
+  uint64_t unmatched_ = 0;
+};
+
+}  // namespace replidb::net
+
+#endif  // REPLIDB_NET_DISPATCHER_H_

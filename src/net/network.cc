@@ -1,0 +1,124 @@
+#include "net/network.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace replidb::net {
+
+Network::Network(sim::Simulator* sim, NetworkOptions options)
+    : sim_(sim), options_(options), rng_(options.seed) {}
+
+void Network::RegisterNode(NodeId node, MessageHandler handler, SiteId site) {
+  NodeState st;
+  st.handler = std::move(handler);
+  st.site = site;
+  st.up = true;
+  nodes_[node] = std::move(st);
+}
+
+void Network::SetHandler(NodeId node, MessageHandler handler) {
+  auto it = nodes_.find(node);
+  REPLIDB_CHECK(it != nodes_.end(), "SetHandler on unknown node");
+  it->second.handler = std::move(handler);
+}
+
+void Network::CrashNode(NodeId node) {
+  auto it = nodes_.find(node);
+  if (it != nodes_.end()) it->second.up = false;
+}
+
+void Network::RestartNode(NodeId node) {
+  auto it = nodes_.find(node);
+  if (it != nodes_.end()) it->second.up = true;
+}
+
+bool Network::IsUp(NodeId node) const {
+  auto it = nodes_.find(node);
+  return it != nodes_.end() && it->second.up;
+}
+
+SiteId Network::SiteOf(NodeId node) const {
+  auto it = nodes_.find(node);
+  return it == nodes_.end() ? -1 : it->second.site;
+}
+
+void Network::Partition(const std::vector<std::vector<NodeId>>& groups) {
+  partition_group_.clear();
+  int g = 0;
+  for (const auto& group : groups) {
+    for (NodeId n : group) partition_group_[n] = g;
+    ++g;
+  }
+  // Unlisted nodes land in one extra implicit group.
+  for (const auto& [id, st] : nodes_) {
+    (void)st;
+    if (!partition_group_.count(id)) partition_group_[id] = g;
+  }
+}
+
+void Network::HealPartition() { partition_group_.clear(); }
+
+bool Network::SamePartitionSide(NodeId a, NodeId b) const {
+  if (partition_group_.empty()) return true;
+  auto ia = partition_group_.find(a);
+  auto ib = partition_group_.find(b);
+  int ga = ia == partition_group_.end() ? -1 : ia->second;
+  int gb = ib == partition_group_.end() ? -1 : ib->second;
+  return ga == gb;
+}
+
+bool Network::Reachable(NodeId a, NodeId b) const {
+  return IsUp(a) && IsUp(b) && SamePartitionSide(a, b);
+}
+
+sim::Duration Network::BaseDelay(NodeId a, NodeId b, int64_t size_bytes) const {
+  bool wan = SiteOf(a) != SiteOf(b);
+  sim::Duration latency = wan ? options_.wan_latency : options_.lan_latency;
+  double bw = wan ? options_.wan_bandwidth_bps : options_.lan_bandwidth_bps;
+  sim::Duration transmission = static_cast<sim::Duration>(
+      static_cast<double>(size_bytes) / bw * sim::kSecond);
+  return latency + transmission;
+}
+
+bool Network::Send(NodeId from, NodeId to, std::string type, std::any body,
+                   int64_t size_bytes) {
+  ++messages_sent_;
+  auto from_it = nodes_.find(from);
+  if (from_it == nodes_.end() || !from_it->second.up) return false;
+  auto to_it = nodes_.find(to);
+  if (to_it == nodes_.end()) return false;
+
+  bool wan = from_it->second.site != to_it->second.site;
+  double loss = wan ? options_.wan_loss_probability : options_.lan_loss_probability;
+  if (loss > 0.0 && rng_.Chance(loss)) return true;  // Silently lost.
+  if (!SamePartitionSide(from, to)) return true;     // Dropped at the cut.
+
+  sim::Duration jitter_range = wan ? options_.wan_jitter : options_.lan_jitter;
+  sim::Duration jitter =
+      jitter_range > 0
+          ? static_cast<sim::Duration>(rng_.Uniform(
+                static_cast<uint64_t>(jitter_range) + 1))
+          : 0;
+  sim::Duration delay = BaseDelay(from, to, size_bytes) + jitter;
+
+  Message msg;
+  msg.from = from;
+  msg.to = to;
+  msg.type = std::move(type);
+  msg.body = std::move(body);
+  msg.size_bytes = size_bytes;
+
+  sim_->Schedule(delay, [this, msg = std::move(msg)]() mutable {
+    auto it = nodes_.find(msg.to);
+    // Crash or partition that happened while in flight drops the message.
+    if (it == nodes_.end() || !it->second.up) return;
+    if (!SamePartitionSide(msg.from, msg.to)) return;
+    ++messages_delivered_;
+    bytes_delivered_ += static_cast<uint64_t>(msg.size_bytes);
+    it->second.handler(msg);
+  });
+  return true;
+}
+
+}  // namespace replidb::net

@@ -1,0 +1,135 @@
+#ifndef REPLIDB_NET_NETWORK_H_
+#define REPLIDB_NET_NETWORK_H_
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/simulator.h"
+
+namespace replidb::net {
+
+/// Identifies a process (client, middleware node, database replica).
+using NodeId = int32_t;
+/// Identifies a datacenter/site for WAN topologies.
+using SiteId = int32_t;
+
+/// \brief A message in flight. `body` is a std::any holding the
+/// protocol-specific struct; `type` is a tag for dispatch and tracing.
+struct Message {
+  NodeId from = -1;
+  NodeId to = -1;
+  std::string type;
+  std::any body;
+  int64_t size_bytes = 256;
+};
+
+/// Per-message delivery handler installed by each node.
+using MessageHandler = std::function<void(const Message&)>;
+
+/// \brief Options controlling link behaviour.
+struct NetworkOptions {
+  /// One-way latency between nodes in the same site.
+  sim::Duration lan_latency = 200 * sim::kMicrosecond;
+  /// One-way latency between nodes in different sites (WAN).
+  sim::Duration wan_latency = 50 * sim::kMillisecond;
+  /// Uniform jitter added to each delivery, in [0, jitter].
+  sim::Duration lan_jitter = 50 * sim::kMicrosecond;
+  sim::Duration wan_jitter = 10 * sim::kMillisecond;
+  /// Link bandwidth in bytes/second; adds size/bandwidth transmission time.
+  double lan_bandwidth_bps = 125e6;  // ~1 Gbps
+  double wan_bandwidth_bps = 12.5e6; // ~100 Mbps
+  /// Probability a message is silently dropped (reliable protocols retry).
+  double lan_loss_probability = 0.0;
+  double wan_loss_probability = 0.0;
+  uint64_t seed = 42;
+};
+
+/// \brief Simulated shared-nothing cluster network.
+///
+/// Provides unreliable datagram delivery with topology-aware latency,
+/// bandwidth, loss, node crash semantics, and administratively injected
+/// partitions. Reliable channels and failure detectors are layered on top
+/// (see channel.h / failure_detector.h).
+class Network {
+ public:
+  Network(sim::Simulator* sim, NetworkOptions options = {});
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  sim::Simulator* simulator() { return sim_; }
+  const NetworkOptions& options() const { return options_; }
+
+  /// Registers a node at a site with its delivery handler. A node must be
+  /// registered before it can send or receive.
+  void RegisterNode(NodeId node, MessageHandler handler, SiteId site = 0);
+
+  /// Replaces a node's handler (e.g. after a software upgrade/restart).
+  void SetHandler(NodeId node, MessageHandler handler);
+
+  /// Marks a node crashed: it neither receives nor (if it tries) sends.
+  void CrashNode(NodeId node);
+
+  /// Brings a crashed node back; its handler starts receiving again.
+  void RestartNode(NodeId node);
+
+  bool IsUp(NodeId node) const;
+  SiteId SiteOf(NodeId node) const;
+
+  /// Sends a datagram. Returns false if the sender itself is down or
+  /// unknown; delivery failures (crash, loss, partition) are silent, as on
+  /// a real network.
+  bool Send(NodeId from, NodeId to, std::string type, std::any body,
+            int64_t size_bytes = 256);
+
+  /// Splits the network into groups; messages across groups are dropped.
+  /// Nodes not listed fall into an implicit final group.
+  void Partition(const std::vector<std::vector<NodeId>>& groups);
+
+  /// Removes any partition: full connectivity restored.
+  void HealPartition();
+
+  bool HasPartition() const { return !partition_group_.empty(); }
+
+  /// True if a datagram from `a` could currently reach `b` (both up, same
+  /// partition side). Used by tests and by omniscient oracles in benches.
+  bool Reachable(NodeId a, NodeId b) const;
+
+  /// One-way delivery delay that would be charged right now for a message
+  /// of `size_bytes` from `a` to `b` (before jitter). Exposed for models.
+  sim::Duration BaseDelay(NodeId a, NodeId b, int64_t size_bytes) const;
+
+  /// Total messages handed to Send (including dropped ones).
+  uint64_t messages_sent() const { return messages_sent_; }
+  /// Total messages actually delivered to a handler.
+  uint64_t messages_delivered() const { return messages_delivered_; }
+  /// Total bytes actually delivered.
+  uint64_t bytes_delivered() const { return bytes_delivered_; }
+
+ private:
+  struct NodeState {
+    MessageHandler handler;
+    SiteId site = 0;
+    bool up = true;
+  };
+
+  bool SamePartitionSide(NodeId a, NodeId b) const;
+
+  sim::Simulator* sim_;
+  NetworkOptions options_;
+  Rng rng_;
+  std::unordered_map<NodeId, NodeState> nodes_;
+  std::unordered_map<NodeId, int> partition_group_;  // empty = no partition
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_delivered_ = 0;
+  uint64_t bytes_delivered_ = 0;
+};
+
+}  // namespace replidb::net
+
+#endif  // REPLIDB_NET_NETWORK_H_

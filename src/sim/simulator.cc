@@ -1,0 +1,93 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace replidb::sim {
+
+EventId Simulator::Schedule(Duration delay, std::function<void()> fn) {
+  if (delay < 0) delay = 0;
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::ScheduleAt(TimePoint when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  EventId id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+void Simulator::Cancel(EventId id) {
+  if (id != 0) cancelled_.insert(id);
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    auto it = cancelled_.find(ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.when;
+    ++events_executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::Run() {
+  stop_requested_ = false;
+  while (!stop_requested_ && Step()) {
+  }
+}
+
+void Simulator::RunUntil(TimePoint deadline) {
+  stop_requested_ = false;
+  while (!stop_requested_) {
+    // Peek: skip cancelled heads without executing.
+    bool executed = false;
+    while (!queue_.empty()) {
+      const Event& head = queue_.top();
+      if (cancelled_.count(head.id)) {
+        cancelled_.erase(head.id);
+        queue_.pop();
+        continue;
+      }
+      if (head.when > deadline) break;
+      Event ev = queue_.top();
+      queue_.pop();
+      now_ = ev.when;
+      ++events_executed_;
+      ev.fn();
+      executed = true;
+      break;
+    }
+    if (!executed) break;
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void PeriodicTask::Start() { StartAfter(period_); }
+
+void PeriodicTask::StartAfter(Duration initial_delay) {
+  if (running_) return;
+  running_ = true;
+  pending_ = sim_->Schedule(initial_delay, [this] { Fire(); });
+}
+
+void PeriodicTask::Stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_->Cancel(pending_);
+  pending_ = 0;
+}
+
+void PeriodicTask::Fire() {
+  if (!running_) return;
+  pending_ = sim_->Schedule(period_, [this] { Fire(); });
+  fn_();
+}
+
+}  // namespace replidb::sim

@@ -1,0 +1,347 @@
+#include "sql/ast.h"
+
+#include <utility>
+
+namespace replidb::sql {
+
+ExprPtr Expr::Lit(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Col(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kColumn;
+  e->column = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kBinary;
+  e->bin_op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr Expr::Unary(UnaryOp op, ExprPtr arg) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kUnary;
+  e->un_op = op;
+  e->children.push_back(std::move(arg));
+  return e;
+}
+
+ExprPtr Expr::Func0(FuncKind f) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kFunc;
+  e->func = f;
+  return e;
+}
+
+ExprPtr Expr::Nextval(std::string sequence) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kFunc;
+  e->func = FuncKind::kNextval;
+  e->sequence_name = std::move(sequence);
+  return e;
+}
+
+ExprPtr Expr::InSubquery(ExprPtr lhs, std::unique_ptr<SelectStmt> sub) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kInSubquery;
+  e->children.push_back(std::move(lhs));
+  e->subquery = std::move(sub);
+  return e;
+}
+
+ExprPtr Expr::Clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->literal = literal;
+  e->column = column;
+  e->bin_op = bin_op;
+  e->un_op = un_op;
+  e->func = func;
+  e->sequence_name = sequence_name;
+  for (const auto& c : children) e->children.push_back(c->Clone());
+  if (subquery) e->subquery = subquery->Clone();
+  return e;
+}
+
+std::unique_ptr<SelectStmt> SelectStmt::Clone() const {
+  auto s = std::make_unique<SelectStmt>();
+  s->star = star;
+  for (const auto& item : items) {
+    SelectItem si;
+    si.agg = item.agg;
+    si.expr = item.expr ? item.expr->Clone() : nullptr;
+    s->items.push_back(std::move(si));
+  }
+  s->table = table;
+  s->where = where ? where->Clone() : nullptr;
+  s->order_by = order_by;
+  s->limit = limit;
+  s->for_update = for_update;
+  return s;
+}
+
+bool Statement::IsWrite() const {
+  switch (type()) {
+    case StmtType::kCreateDatabase:
+    case StmtType::kCreateTable:
+    case StmtType::kDropTable:
+    case StmtType::kCreateSequence:
+    case StmtType::kInsert:
+    case StmtType::kUpdate:
+    case StmtType::kDelete:
+    case StmtType::kCall:  // Procedures may write; nobody can tell (§4.2.1).
+      return true;
+    default:
+      return false;
+  }
+}
+
+const TableRef* Statement::TargetTable() const {
+  switch (type()) {
+    case StmtType::kCreateTable:
+      return &As<CreateTableStmt>().table;
+    case StmtType::kDropTable:
+      return &As<DropTableStmt>().table;
+    case StmtType::kInsert:
+      return &As<InsertStmt>().table;
+    case StmtType::kUpdate:
+      return &As<UpdateStmt>().table;
+    case StmtType::kDelete:
+      return &As<DeleteStmt>().table;
+    case StmtType::kSelect:
+      return &As<SelectStmt>().table;
+    default:
+      return nullptr;
+  }
+}
+
+namespace {
+
+const char* BinOpText(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+  }
+  return "?";
+}
+
+const char* FuncText(FuncKind f) {
+  switch (f) {
+    case FuncKind::kNow: return "NOW";
+    case FuncKind::kRand: return "RAND";
+    case FuncKind::kNextval: return "NEXTVAL";
+    case FuncKind::kAbs: return "ABS";
+    case FuncKind::kLower: return "LOWER";
+    case FuncKind::kUpper: return "UPPER";
+  }
+  return "?";
+}
+
+const char* TypeText(ValueType t) {
+  switch (t) {
+    case ValueType::kInt: return "INT";
+    case ValueType::kDouble: return "DOUBLE";
+    case ValueType::kString: return "TEXT";
+    case ValueType::kBool: return "BOOL";
+    case ValueType::kNull: return "NULL";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string ExprToSql(const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::kLiteral:
+      return e.literal.ToSqlLiteral();
+    case Expr::Kind::kColumn:
+      return e.column;
+    case Expr::Kind::kBinary:
+      return "(" + ExprToSql(*e.children[0]) + " " + BinOpText(e.bin_op) +
+             " " + ExprToSql(*e.children[1]) + ")";
+    case Expr::Kind::kUnary:
+      return e.un_op == UnaryOp::kNot ? "(NOT " + ExprToSql(*e.children[0]) + ")"
+                                      : "(-" + ExprToSql(*e.children[0]) + ")";
+    case Expr::Kind::kFunc: {
+      if (e.func == FuncKind::kNextval) {
+        return std::string("NEXTVAL('") + e.sequence_name + "')";
+      }
+      std::string out = FuncText(e.func);
+      out += "(";
+      for (size_t i = 0; i < e.children.size(); ++i) {
+        if (i) out += ", ";
+        out += ExprToSql(*e.children[i]);
+      }
+      out += ")";
+      return out;
+    }
+    case Expr::Kind::kInSubquery:
+      return ExprToSql(*e.children[0]) + " IN (" + ToSql(*e.subquery) + ")";
+  }
+  return "?";
+}
+
+std::string ToSql(const SelectStmt& s) {
+  std::string out = "SELECT ";
+  if (s.star) {
+    out += "*";
+  } else {
+    for (size_t i = 0; i < s.items.size(); ++i) {
+      if (i) out += ", ";
+      const SelectItem& item = s.items[i];
+      switch (item.agg) {
+        case AggFunc::kNone:
+          out += ExprToSql(*item.expr);
+          break;
+        case AggFunc::kCount:
+          out += item.expr ? "COUNT(" + ExprToSql(*item.expr) + ")" : "COUNT(*)";
+          break;
+        case AggFunc::kSum:
+          out += "SUM(" + ExprToSql(*item.expr) + ")";
+          break;
+        case AggFunc::kMin:
+          out += "MIN(" + ExprToSql(*item.expr) + ")";
+          break;
+        case AggFunc::kMax:
+          out += "MAX(" + ExprToSql(*item.expr) + ")";
+          break;
+        case AggFunc::kAvg:
+          out += "AVG(" + ExprToSql(*item.expr) + ")";
+          break;
+      }
+    }
+  }
+  out += " FROM " + s.table.ToString();
+  if (s.where) out += " WHERE " + ExprToSql(*s.where);
+  if (!s.order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < s.order_by.size(); ++i) {
+      if (i) out += ", ";
+      out += s.order_by[i].column;
+      if (s.order_by[i].descending) out += " DESC";
+    }
+  }
+  if (s.limit >= 0) out += " LIMIT " + std::to_string(s.limit);
+  if (s.for_update) out += " FOR UPDATE";
+  return out;
+}
+
+std::string ToSql(const Statement& stmt) {
+  switch (stmt.type()) {
+    case StmtType::kCreateDatabase: {
+      const auto& s = stmt.As<CreateDatabaseStmt>();
+      std::string out = "CREATE DATABASE ";
+      if (s.if_not_exists) out += "IF NOT EXISTS ";
+      return out + s.name;
+    }
+    case StmtType::kCreateTable: {
+      const auto& s = stmt.As<CreateTableStmt>();
+      std::string out = "CREATE ";
+      if (s.temporary) out += "TEMPORARY ";
+      out += "TABLE ";
+      if (s.if_not_exists) out += "IF NOT EXISTS ";
+      out += s.table.ToString() + " (";
+      for (size_t i = 0; i < s.columns.size(); ++i) {
+        if (i) out += ", ";
+        const ColumnDef& c = s.columns[i];
+        out += c.name;
+        out += " ";
+        out += TypeText(c.type);
+        if (c.primary_key) out += " PRIMARY KEY";
+        if (c.auto_increment) out += " AUTO_INCREMENT";
+        if (c.unique) out += " UNIQUE";
+        if (c.not_null) out += " NOT NULL";
+      }
+      return out + ")";
+    }
+    case StmtType::kDropTable: {
+      const auto& s = stmt.As<DropTableStmt>();
+      std::string out = "DROP TABLE ";
+      if (s.if_exists) out += "IF EXISTS ";
+      return out + s.table.ToString();
+    }
+    case StmtType::kCreateSequence: {
+      const auto& s = stmt.As<CreateSequenceStmt>();
+      return "CREATE SEQUENCE " + s.name + " START " + std::to_string(s.start);
+    }
+    case StmtType::kInsert: {
+      const auto& s = stmt.As<InsertStmt>();
+      std::string out = "INSERT INTO " + s.table.ToString();
+      if (!s.columns.empty()) {
+        out += " (";
+        for (size_t i = 0; i < s.columns.size(); ++i) {
+          if (i) out += ", ";
+          out += s.columns[i];
+        }
+        out += ")";
+      }
+      out += " VALUES ";
+      for (size_t r = 0; r < s.rows.size(); ++r) {
+        if (r) out += ", ";
+        out += "(";
+        for (size_t i = 0; i < s.rows[r].size(); ++i) {
+          if (i) out += ", ";
+          out += ExprToSql(*s.rows[r][i]);
+        }
+        out += ")";
+      }
+      return out;
+    }
+    case StmtType::kUpdate: {
+      const auto& s = stmt.As<UpdateStmt>();
+      std::string out = "UPDATE " + s.table.ToString() + " SET ";
+      for (size_t i = 0; i < s.sets.size(); ++i) {
+        if (i) out += ", ";
+        out += s.sets[i].first + " = " + ExprToSql(*s.sets[i].second);
+      }
+      if (s.where) out += " WHERE " + ExprToSql(*s.where);
+      return out;
+    }
+    case StmtType::kDelete: {
+      const auto& s = stmt.As<DeleteStmt>();
+      std::string out = "DELETE FROM " + s.table.ToString();
+      if (s.where) out += " WHERE " + ExprToSql(*s.where);
+      return out;
+    }
+    case StmtType::kSelect:
+      return ToSql(stmt.As<SelectStmt>());
+    case StmtType::kBegin:
+      return "BEGIN";
+    case StmtType::kCommit:
+      return "COMMIT";
+    case StmtType::kRollback:
+      return "ROLLBACK";
+    case StmtType::kCall: {
+      const auto& s = stmt.As<CallStmt>();
+      std::string out = "CALL " + s.procedure + "(";
+      for (size_t i = 0; i < s.args.size(); ++i) {
+        if (i) out += ", ";
+        out += ExprToSql(*s.args[i]);
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace replidb::sql

@@ -1,0 +1,225 @@
+#ifndef REPLIDB_SQL_AST_H_
+#define REPLIDB_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "sql/value.h"
+
+namespace replidb::sql {
+
+struct SelectStmt;
+
+/// Binary operators in expressions.
+enum class BinaryOp {
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+  kAdd, kSub, kMul, kDiv, kMod,
+};
+
+/// Unary operators.
+enum class UnaryOp { kNot, kNeg };
+
+/// Built-in (potentially non-deterministic) SQL functions.
+/// kNow/kRand are the paper's §4.3.2 troublemakers; kNextval draws from a
+/// non-transactional sequence (§4.2.3).
+enum class FuncKind { kNow, kRand, kNextval, kAbs, kLower, kUpper };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// \brief Expression tree node.
+struct Expr {
+  enum class Kind { kLiteral, kColumn, kBinary, kUnary, kFunc, kInSubquery };
+
+  Kind kind = Kind::kLiteral;
+
+  // kLiteral:
+  Value literal;
+  // kColumn:
+  std::string column;
+  // kBinary / kUnary:
+  BinaryOp bin_op = BinaryOp::kEq;
+  UnaryOp un_op = UnaryOp::kNot;
+  // kFunc:
+  FuncKind func = FuncKind::kNow;
+  std::string sequence_name;  // kNextval only.
+  // Children: binary => {lhs, rhs}; unary/func => {arg...};
+  // kInSubquery => {lhs}.
+  std::vector<ExprPtr> children;
+  // kInSubquery:
+  std::unique_ptr<SelectStmt> subquery;
+
+  static ExprPtr Lit(Value v);
+  static ExprPtr Col(std::string name);
+  static ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Unary(UnaryOp op, ExprPtr arg);
+  static ExprPtr Func0(FuncKind f);
+  static ExprPtr Nextval(std::string sequence);
+  static ExprPtr InSubquery(ExprPtr lhs, std::unique_ptr<SelectStmt> sub);
+
+  ExprPtr Clone() const;
+};
+
+/// \brief Table reference, optionally qualified by database instance
+/// (`db.table`, the paper's §4.1.1 multi-database case).
+struct TableRef {
+  std::string database;  ///< Empty means the session's current database.
+  std::string table;
+
+  std::string ToString() const {
+    return database.empty() ? table : database + "." + table;
+  }
+  bool operator==(const TableRef& o) const {
+    return database == o.database && table == o.table;
+  }
+};
+
+/// Aggregate functions in a select list.
+enum class AggFunc { kNone, kCount, kSum, kMin, kMax, kAvg };
+
+/// One select-list item: `expr`, `COUNT(*)` (expr == nullptr), or
+/// `AGG(expr)`.
+struct SelectItem {
+  AggFunc agg = AggFunc::kNone;
+  ExprPtr expr;  // nullptr only for COUNT(*).
+};
+
+/// ORDER BY key.
+struct OrderKey {
+  std::string column;
+  bool descending = false;
+};
+
+/// \brief SELECT statement.
+struct SelectStmt {
+  bool star = false;             ///< SELECT *
+  std::vector<SelectItem> items; ///< Used when !star.
+  TableRef table;
+  ExprPtr where;                 ///< May be null.
+  std::vector<OrderKey> order_by;
+  int64_t limit = -1;            ///< -1 = no LIMIT.
+  bool for_update = false;
+
+  std::unique_ptr<SelectStmt> Clone() const;
+};
+
+/// Column definition in CREATE TABLE.
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kInt;
+  bool primary_key = false;
+  bool auto_increment = false;
+  bool unique = false;
+  bool not_null = false;
+};
+
+struct CreateDatabaseStmt {
+  std::string name;
+  bool if_not_exists = false;
+};
+
+struct CreateTableStmt {
+  TableRef table;
+  std::vector<ColumnDef> columns;
+  bool temporary = false;  ///< CREATE TEMPORARY TABLE (§4.1.4).
+  bool if_not_exists = false;
+};
+
+struct DropTableStmt {
+  TableRef table;
+  bool if_exists = false;
+};
+
+struct CreateSequenceStmt {
+  std::string name;
+  int64_t start = 1;
+};
+
+struct InsertStmt {
+  TableRef table;
+  std::vector<std::string> columns;        ///< Empty = positional.
+  std::vector<std::vector<ExprPtr>> rows;  ///< VALUES (...), (...).
+};
+
+struct UpdateStmt {
+  TableRef table;
+  std::vector<std::pair<std::string, ExprPtr>> sets;
+  ExprPtr where;  ///< May be null (full-table update).
+};
+
+struct DeleteStmt {
+  TableRef table;
+  ExprPtr where;  ///< May be null (full-table delete).
+};
+
+struct BeginStmt {};
+struct CommitStmt {};
+struct RollbackStmt {};
+
+/// CALL procedure(args...) — stored procedures are registered natively with
+/// the engine; there is no schema describing what they touch (§4.2.1).
+struct CallStmt {
+  std::string procedure;
+  std::vector<ExprPtr> args;
+};
+
+/// Statement type tag, aligned with the variant order in Statement::node.
+enum class StmtType {
+  kCreateDatabase,
+  kCreateTable,
+  kDropTable,
+  kCreateSequence,
+  kInsert,
+  kUpdate,
+  kDelete,
+  kSelect,
+  kBegin,
+  kCommit,
+  kRollback,
+  kCall,
+};
+
+/// \brief A parsed SQL statement.
+struct Statement {
+  std::variant<CreateDatabaseStmt, CreateTableStmt, DropTableStmt,
+               CreateSequenceStmt, InsertStmt, UpdateStmt, DeleteStmt,
+               SelectStmt, BeginStmt, CommitStmt, RollbackStmt, CallStmt>
+      node;
+
+  StmtType type() const { return static_cast<StmtType>(node.index()); }
+
+  template <typename T>
+  T& As() { return std::get<T>(node); }
+  template <typename T>
+  const T& As() const { return std::get<T>(node); }
+
+  /// True for statements that modify data or schema (must be replicated).
+  bool IsWrite() const;
+
+  /// True for transaction-control statements.
+  bool IsTransactionControl() const {
+    StmtType t = type();
+    return t == StmtType::kBegin || t == StmtType::kCommit ||
+           t == StmtType::kRollback;
+  }
+
+  /// The table this statement targets, if any (CALL and control return
+  /// nullptr — the paper's point: procedure table-sets are unknown).
+  const TableRef* TargetTable() const;
+};
+
+/// Serializes an expression back to SQL text.
+std::string ExprToSql(const Expr& e);
+
+/// Serializes a statement back to canonical SQL text. Statement-based
+/// replication ships this text to the replicas after rewriting.
+std::string ToSql(const Statement& stmt);
+std::string ToSql(const SelectStmt& stmt);
+
+}  // namespace replidb::sql
+
+#endif  // REPLIDB_SQL_AST_H_

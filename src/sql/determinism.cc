@@ -1,0 +1,155 @@
+#include "sql/determinism.h"
+
+namespace replidb::sql {
+
+namespace {
+
+/// Where an expression appears; decides whether RAND() is fixable.
+enum class Context { kInsertValue, kUpdateSet, kWhere, kReadOnly };
+
+struct Walker {
+  DeterminismReport* report;
+  bool in_write_statement;
+  // When non-null we are rewriting; otherwise only analyzing.
+  const Value* now_value = nullptr;
+  Rng* rng = nullptr;
+
+  void Visit(Expr* e, Context ctx) {
+    switch (e->kind) {
+      case Expr::Kind::kLiteral:
+      case Expr::Kind::kColumn:
+        return;
+      case Expr::Kind::kBinary:
+      case Expr::Kind::kUnary:
+        for (auto& c : e->children) Visit(c.get(), ctx);
+        return;
+      case Expr::Kind::kFunc:
+        VisitFunc(e, ctx);
+        return;
+      case Expr::Kind::kInSubquery:
+        Visit(e->children[0].get(), ctx);
+        VisitSubquery(e->subquery.get(), ctx);
+        return;
+    }
+  }
+
+  void VisitFunc(Expr* e, Context ctx) {
+    for (auto& c : e->children) Visit(c.get(), ctx);
+    switch (e->func) {
+      case FuncKind::kNow:
+        report->uses_now = true;
+        report->issues.push_back(
+            "NOW()/CURRENT_TIMESTAMP differs across replicas; rewritable");
+        if (now_value != nullptr) {
+          e->kind = Expr::Kind::kLiteral;
+          e->literal = *now_value;
+          e->children.clear();
+        }
+        return;
+      case FuncKind::kRand:
+        if (ctx == Context::kInsertValue || ctx == Context::kReadOnly) {
+          report->uses_rand_rewritable = true;
+          report->issues.push_back(
+              "RAND() evaluated once; rewritable to a literal");
+          if (rng != nullptr && ctx == Context::kInsertValue) {
+            e->kind = Expr::Kind::kLiteral;
+            e->literal = Value::Double(rng->NextDouble());
+            e->children.clear();
+          }
+        } else {
+          report->uses_rand_per_row = true;
+          report->issues.push_back(
+              "RAND() evaluated per row in " +
+              std::string(ctx == Context::kUpdateSet ? "UPDATE SET"
+                                                     : "WHERE") +
+              "; hardcoding a value changes semantics");
+        }
+        return;
+      case FuncKind::kNextval:
+        report->uses_sequence = true;
+        report->issues.push_back("NEXTVAL('" + e->sequence_name +
+                                 "') is order-sensitive and non-transactional");
+        return;
+      default:
+        return;  // ABS/LOWER/UPPER are pure.
+    }
+  }
+
+  void VisitSubquery(SelectStmt* s, Context ctx) {
+    if (s->where) Visit(s->where.get(), ctx);
+    for (auto& item : s->items) {
+      if (item.expr) Visit(item.expr.get(), ctx);
+    }
+    if (in_write_statement && s->limit >= 0 && s->order_by.empty()) {
+      report->unordered_limit_subquery = true;
+      report->issues.push_back(
+          "LIMIT without ORDER BY in a subquery of a write statement: "
+          "replicas may select different rows");
+    }
+  }
+};
+
+void WalkStatement(Statement* stmt, Walker* w) {
+  switch (stmt->type()) {
+    case StmtType::kInsert: {
+      auto& s = stmt->As<InsertStmt>();
+      for (auto& row : s.rows) {
+        for (auto& e : row) w->Visit(e.get(), Context::kInsertValue);
+      }
+      return;
+    }
+    case StmtType::kUpdate: {
+      auto& s = stmt->As<UpdateStmt>();
+      for (auto& [col, e] : s.sets) {
+        (void)col;
+        w->Visit(e.get(), Context::kUpdateSet);
+      }
+      if (s.where) w->Visit(s.where.get(), Context::kWhere);
+      return;
+    }
+    case StmtType::kDelete: {
+      auto& s = stmt->As<DeleteStmt>();
+      if (s.where) w->Visit(s.where.get(), Context::kWhere);
+      return;
+    }
+    case StmtType::kSelect: {
+      auto& s = stmt->As<SelectStmt>();
+      if (s.where) w->Visit(s.where.get(), Context::kReadOnly);
+      for (auto& item : s.items) {
+        if (item.expr) w->Visit(item.expr.get(), Context::kReadOnly);
+      }
+      return;
+    }
+    case StmtType::kCall: {
+      auto& s = stmt->As<CallStmt>();
+      // Arguments are evaluated once at the caller — rewritable context.
+      for (auto& e : s.args) w->Visit(e.get(), Context::kInsertValue);
+      return;
+    }
+    default:
+      return;  // DDL and transaction control are deterministic.
+  }
+}
+
+}  // namespace
+
+DeterminismReport Analyze(const Statement& stmt) {
+  DeterminismReport report;
+  Walker w{&report, stmt.IsWrite()};
+  // Analysis never mutates; the const_cast is confined here.
+  WalkStatement(const_cast<Statement*>(&stmt), &w);
+  return report;
+}
+
+DeterminismReport RewriteForStatementReplication(Statement* stmt,
+                                                 const Value& now_value,
+                                                 Rng* rng) {
+  DeterminismReport report;
+  Walker w{&report, stmt->IsWrite()};
+  w.now_value = &now_value;
+  w.rng = rng;
+  WalkStatement(stmt, &w);
+  return report;
+}
+
+}  // namespace replidb::sql

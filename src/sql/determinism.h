@@ -1,0 +1,69 @@
+#ifndef REPLIDB_SQL_DETERMINISM_H_
+#define REPLIDB_SQL_DETERMINISM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sql/ast.h"
+
+namespace replidb::sql {
+
+/// \brief What a statement-replication middleware needs to know before
+/// broadcasting a write statement (paper §4.3.2).
+struct DeterminismReport {
+  /// Statement calls NOW()/CURRENT_TIMESTAMP: replicas with different
+  /// clocks produce different values. Fixable by literal substitution.
+  bool uses_now = false;
+
+  /// Statement calls RAND() in a context where a single pre-computed value
+  /// preserves semantics (e.g. INSERT ... VALUES (RAND())).
+  bool uses_rand_rewritable = false;
+
+  /// Statement calls RAND() per-row (UPDATE t SET x = RAND()): hardcoding
+  /// one value changes the meaning — the paper's canonical example of a
+  /// statement that statement replication cannot fix.
+  bool uses_rand_per_row = false;
+
+  /// Statement draws from a sequence (NEXTVAL): deterministic only if all
+  /// replicas execute all sequence-touching statements in the same total
+  /// order; invisible to trigger-based writeset extraction (§4.2.3).
+  bool uses_sequence = false;
+
+  /// A write statement depends on `IN (SELECT ... LIMIT n)` without an
+  /// ORDER BY: each replica may pick a different row set (§4.3.2).
+  bool unordered_limit_subquery = false;
+
+  /// Human-readable explanations, one per issue found.
+  std::vector<std::string> issues;
+
+  /// No non-deterministic construct at all.
+  bool IsDeterministic() const {
+    return !uses_now && !uses_rand_rewritable && !uses_rand_per_row &&
+           !uses_sequence && !unordered_limit_subquery;
+  }
+
+  /// Deterministic after middleware rewriting (NOW/insert-RAND replaced by
+  /// literals), *assuming total-order execution* for sequences.
+  bool SafeForStatementReplication() const {
+    return !uses_rand_per_row && !unordered_limit_subquery;
+  }
+};
+
+/// Analyzes a statement without modifying it.
+DeterminismReport Analyze(const Statement& stmt);
+
+/// \brief Rewrites a statement in place for statement-based replication:
+/// every NOW()/CURRENT_TIMESTAMP becomes the literal `now_value`, and each
+/// RAND() in an INSERT VALUES context becomes a literal drawn from `rng`.
+///
+/// Per-row RAND() and unordered LIMIT subqueries are left untouched — the
+/// returned report still flags them so the middleware can refuse, warn, or
+/// fall back to writeset replication.
+DeterminismReport RewriteForStatementReplication(Statement* stmt,
+                                                 const Value& now_value,
+                                                 Rng* rng);
+
+}  // namespace replidb::sql
+
+#endif  // REPLIDB_SQL_DETERMINISM_H_

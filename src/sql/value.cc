@@ -1,0 +1,184 @@
+#include "sql/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace replidb::sql {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return "INT";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+    case ValueType::kBool:
+      return "BOOL";
+  }
+  return "?";
+}
+
+ValueType Value::type() const {
+  switch (v_.index()) {
+    case 0:
+      return ValueType::kNull;
+    case 1:
+      return ValueType::kInt;
+    case 2:
+      return ValueType::kDouble;
+    case 3:
+      return ValueType::kString;
+    case 4:
+      return ValueType::kBool;
+  }
+  return ValueType::kNull;
+}
+
+int64_t Value::AsInt() const { return std::get<int64_t>(v_); }
+double Value::AsDouble() const { return std::get<double>(v_); }
+const std::string& Value::AsString() const { return std::get<std::string>(v_); }
+bool Value::AsBool() const { return std::get<bool>(v_); }
+
+double Value::NumericValue() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return static_cast<double>(AsInt());
+    case ValueType::kDouble:
+      return AsDouble();
+    case ValueType::kBool:
+      return AsBool() ? 1.0 : 0.0;
+    default:
+      return 0.0;
+  }
+}
+
+bool Value::Truthy() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return false;
+    case ValueType::kInt:
+      return AsInt() != 0;
+    case ValueType::kDouble:
+      return AsDouble() != 0.0;
+    case ValueType::kString:
+      return !AsString().empty();
+    case ValueType::kBool:
+      return AsBool();
+  }
+  return false;
+}
+
+std::string Value::ToSqlLiteral() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kString: {
+      std::string out = "'";
+      for (char c : AsString()) {
+        if (c == '\'') out += "''";
+        else out += c;
+      }
+      out += "'";
+      return out;
+    }
+    case ValueType::kBool:
+      return AsBool() ? "TRUE" : "FALSE";
+    default:
+      return ToString();
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", AsDouble());
+      return buf;
+    }
+    case ValueType::kString:
+      return AsString();
+    case ValueType::kBool:
+      return AsBool() ? "TRUE" : "FALSE";
+  }
+  return "?";
+}
+
+namespace {
+bool IsNumeric(ValueType t) {
+  return t == ValueType::kInt || t == ValueType::kDouble ||
+         t == ValueType::kBool;
+}
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  ValueType a = type(), b = other.type();
+  if (a == ValueType::kNull || b == ValueType::kNull) {
+    if (a == b) return 0;
+    return a == ValueType::kNull ? -1 : 1;
+  }
+  if (IsNumeric(a) && IsNumeric(b)) {
+    if (a == ValueType::kInt && b == ValueType::kInt) {
+      int64_t x = AsInt(), y = other.AsInt();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    double x = NumericValue(), y = other.NumericValue();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (a == ValueType::kString && b == ValueType::kString) {
+    return AsString().compare(other.AsString()) < 0
+               ? -1
+               : (AsString() == other.AsString() ? 0 : 1);
+  }
+  // Cross-type non-numeric: order by type id for a stable total order.
+  int ta = static_cast<int>(a), tb = static_cast<int>(b);
+  return ta < tb ? -1 : (ta > tb ? 1 : 0);
+}
+
+uint64_t Value::Hash() const {
+  uint64_t h = 0xcbf29ce484222325ULL ^ static_cast<uint64_t>(type());
+  auto mix = [&h](uint64_t x) {
+    h ^= x;
+    h *= 0x100000001b3ULL;
+    h ^= h >> 29;
+  };
+  switch (type()) {
+    case ValueType::kNull:
+      mix(0);
+      break;
+    case ValueType::kInt:
+      mix(static_cast<uint64_t>(AsInt()));
+      break;
+    case ValueType::kDouble: {
+      double d = AsDouble();
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      mix(bits);
+      break;
+    }
+    case ValueType::kString:
+      for (char c : AsString()) mix(static_cast<uint64_t>(static_cast<unsigned char>(c)));
+      break;
+    case ValueType::kBool:
+      mix(AsBool() ? 1 : 2);
+      break;
+  }
+  return h;
+}
+
+uint64_t HashRow(const Row& row) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const Value& v : row) {
+    h ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace replidb::sql

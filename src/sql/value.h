@@ -1,0 +1,79 @@
+#ifndef REPLIDB_SQL_VALUE_H_
+#define REPLIDB_SQL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace replidb::sql {
+
+/// Column types supported by the engine dialect.
+enum class ValueType { kNull, kInt, kDouble, kString, kBool };
+
+const char* ValueTypeName(ValueType t);
+
+/// \brief A typed SQL value (NULL, INT, DOUBLE, STRING, BOOL).
+///
+/// Values are small, copyable, and totally ordered (NULL sorts first,
+/// cross-type numeric comparisons promote int to double).
+class Value {
+ public:
+  /// NULL value.
+  Value() : v_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t i) { return Value(i); }
+  static Value Double(double d) { return Value(d); }
+  static Value String(std::string s) { return Value(std::move(s)); }
+  static Value Bool(bool b) { return Value(b); }
+
+  ValueType type() const;
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Accessors; behaviour is undefined if the type does not match
+  /// (call type() or the As* coercions first).
+  int64_t AsInt() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+  bool AsBool() const;
+
+  /// Numeric coercion: int/double/bool -> double; others -> 0.
+  double NumericValue() const;
+
+  /// True if the value is "truthy" (non-null, non-zero, non-empty).
+  bool Truthy() const;
+
+  /// SQL literal rendering ('quoted' strings, NULL keyword).
+  std::string ToSqlLiteral() const;
+  /// Plain rendering for result display.
+  std::string ToString() const;
+
+  /// Total order used by ORDER BY and index keys.
+  /// Returns <0, 0, >0. NULL < everything; numerics compare numerically.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Stable 64-bit hash (used for replica content checksums).
+  uint64_t Hash() const;
+
+ private:
+  explicit Value(int64_t i) : v_(i) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+  explicit Value(bool b) : v_(b) {}
+
+  std::variant<std::monostate, int64_t, double, std::string, bool> v_;
+};
+
+/// A tuple of values: one table row or one result row.
+using Row = std::vector<Value>;
+
+/// Stable hash of a whole row (order-sensitive).
+uint64_t HashRow(const Row& row);
+
+}  // namespace replidb::sql
+
+#endif  // REPLIDB_SQL_VALUE_H_

@@ -1,0 +1,116 @@
+#include "workload/load_generator.h"
+
+namespace replidb::workload {
+
+void Record(RunStats* stats, const middleware::TxnRequest& req,
+            const middleware::TxnResult& result) {
+  stats->retries += static_cast<uint64_t>(result.retries);
+  if (result.status.ok()) {
+    ++stats->committed;
+    double ms = sim::ToMillis(result.latency);
+    stats->latency_ms.Add(ms);
+    if (req.read_only) {
+      stats->read_latency_ms.Add(ms);
+      stats->staleness.Add(static_cast<double>(result.staleness));
+    } else {
+      stats->write_latency_ms.Add(ms);
+    }
+  } else {
+    ++stats->failed;
+    ++stats->failures_by_code[result.status.code()];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// OpenLoopGenerator
+
+OpenLoopGenerator::OpenLoopGenerator(sim::Simulator* sim,
+                                     client::Driver* driver,
+                                     Workload* workload, double rate_tps,
+                                     uint64_t seed)
+    : sim_(sim),
+      driver_(driver),
+      workload_(workload),
+      rate_tps_(rate_tps),
+      rng_(seed) {}
+
+void OpenLoopGenerator::Run(sim::Duration duration) {
+  Arm(sim_->Now() + duration);
+  sim_->RunUntil(stop_at_);
+  // Let in-flight transactions drain.
+  sim_->RunFor(10 * sim::kSecond);
+}
+
+void OpenLoopGenerator::Arm(sim::TimePoint stop_at) {
+  stop_at_ = stop_at;
+  stats_.elapsed = stop_at - sim_->Now();
+  ScheduleNext();
+}
+
+void OpenLoopGenerator::ScheduleNext() {
+  double mean_gap_us = 1e6 / rate_tps_;
+  sim::Duration gap =
+      static_cast<sim::Duration>(rng_.Exponential(mean_gap_us));
+  if (gap < 1) gap = 1;
+  sim_->Schedule(gap, [this] {
+    if (sim_->Now() >= stop_at_) return;
+    Fire();
+    ScheduleNext();
+  });
+}
+
+void OpenLoopGenerator::Fire() {
+  middleware::TxnRequest req = workload_->Next(&rng_);
+  ++stats_.submitted;
+  middleware::TxnRequest copy = req;
+  driver_->Submit(std::move(req),
+                  [this, copy](const middleware::TxnResult& result) {
+                    Record(&stats_, copy, result);
+                  });
+}
+
+// ---------------------------------------------------------------------------
+// ClosedLoopGenerator
+
+ClosedLoopGenerator::ClosedLoopGenerator(sim::Simulator* sim,
+                                         client::Driver* driver,
+                                         Workload* workload, int clients,
+                                         sim::Duration think_time,
+                                         uint64_t seed)
+    : sim_(sim),
+      driver_(driver),
+      workload_(workload),
+      clients_(clients),
+      think_time_(think_time),
+      rng_(seed) {}
+
+void ClosedLoopGenerator::Run(sim::Duration duration) {
+  Arm(sim_->Now() + duration);
+  sim_->RunUntil(stop_at_);
+  sim_->RunFor(10 * sim::kSecond);
+}
+
+void ClosedLoopGenerator::Arm(sim::TimePoint stop_at) {
+  stop_at_ = stop_at;
+  stats_.elapsed = stop_at - sim_->Now();
+  for (int i = 0; i < clients_; ++i) ClientLoop();
+}
+
+void ClosedLoopGenerator::ClientLoop() {
+  if (sim_->Now() >= stop_at_) return;
+  middleware::TxnRequest req = workload_->Next(&rng_);
+  ++stats_.submitted;
+  middleware::TxnRequest copy = req;
+  driver_->Submit(std::move(req),
+                  [this, copy](const middleware::TxnResult& result) {
+                    Record(&stats_, copy, result);
+                    sim::Duration think =
+                        think_time_ > 0
+                            ? static_cast<sim::Duration>(rng_.Exponential(
+                                  static_cast<double>(think_time_)))
+                            : 0;
+                    sim_->Schedule(think, [this] { ClientLoop(); });
+                  });
+}
+
+}  // namespace replidb::workload

@@ -1,0 +1,123 @@
+#ifndef REPLIDB_WORKLOAD_LOAD_GENERATOR_H_
+#define REPLIDB_WORKLOAD_LOAD_GENERATOR_H_
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "client/driver.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "sim/simulator.h"
+#include "workload/workloads.h"
+
+namespace replidb::workload {
+
+/// \brief Results of one load run.
+struct RunStats {
+  uint64_t submitted = 0;
+  uint64_t committed = 0;
+  uint64_t failed = 0;              ///< Final non-OK outcomes after retries.
+  uint64_t retries = 0;             ///< Total driver retries.
+  Histogram latency_ms;             ///< Committed-transaction latency (ms).
+  Histogram read_latency_ms;
+  Histogram write_latency_ms;
+  Histogram staleness;              ///< Versions behind head, reads.
+  std::map<StatusCode, uint64_t> failures_by_code;
+  sim::Duration elapsed = 0;
+
+  double ThroughputTps() const {
+    double secs = sim::ToSeconds(elapsed);
+    return secs > 0 ? static_cast<double>(committed) / secs : 0;
+  }
+  double AbortRate() const {
+    uint64_t total = committed + failed;
+    return total > 0 ? static_cast<double>(failed) / total : 0;
+  }
+
+  /// Merges another run's counters and samples (multi-generator runs).
+  void Merge(const RunStats& o) {
+    submitted += o.submitted;
+    committed += o.committed;
+    failed += o.failed;
+    retries += o.retries;
+    latency_ms.Merge(o.latency_ms);
+    read_latency_ms.Merge(o.read_latency_ms);
+    write_latency_ms.Merge(o.write_latency_ms);
+    staleness.Merge(o.staleness);
+    for (const auto& [code, n] : o.failures_by_code) {
+      failures_by_code[code] += n;
+    }
+    elapsed = std::max(elapsed, o.elapsed);
+  }
+};
+
+/// \brief Open-loop load: transactions arrive as a Poisson process at
+/// `rate_tps` regardless of completions — the paper's point that
+/// closed-loop-only evaluation hides behaviour under fixed offered load
+/// (§3.4, §5.1).
+class OpenLoopGenerator {
+ public:
+  OpenLoopGenerator(sim::Simulator* sim, client::Driver* driver,
+                    Workload* workload, double rate_tps, uint64_t seed = 1);
+
+  /// Starts generating at Now() and stops issuing at Now() + duration.
+  /// Completions after the cut-off still count.
+  void Run(sim::Duration duration);
+
+  /// Schedules arrivals up to `stop_at` without driving the simulator —
+  /// for multi-generator runs where the caller advances time itself.
+  void Arm(sim::TimePoint stop_at);
+
+  RunStats& stats() { return stats_; }
+
+ private:
+  void ScheduleNext();
+  void Fire();
+
+  sim::Simulator* sim_;
+  client::Driver* driver_;
+  Workload* workload_;
+  double rate_tps_;
+  Rng rng_;
+  sim::TimePoint stop_at_ = 0;
+  RunStats stats_;
+};
+
+/// \brief Closed loop: `clients` outstanding transactions, each client
+/// submits the next one `think_time` after its previous completes.
+class ClosedLoopGenerator {
+ public:
+  ClosedLoopGenerator(sim::Simulator* sim, client::Driver* driver,
+                      Workload* workload, int clients,
+                      sim::Duration think_time = 0, uint64_t seed = 1);
+
+  void Run(sim::Duration duration);
+
+  /// Launches the client loops without driving the simulator — for runs
+  /// that arm several generators (e.g. one per session) and then advance
+  /// the shared simulator themselves. Sets stats().elapsed.
+  void Arm(sim::TimePoint stop_at);
+
+  RunStats& stats() { return stats_; }
+
+ private:
+  void ClientLoop();
+
+  sim::Simulator* sim_;
+  client::Driver* driver_;
+  Workload* workload_;
+  int clients_;
+  sim::Duration think_time_;
+  Rng rng_;
+  sim::TimePoint stop_at_ = 0;
+  RunStats stats_;
+};
+
+/// Records one completed transaction into `stats`.
+void Record(RunStats* stats, const middleware::TxnRequest& req,
+            const middleware::TxnResult& result);
+
+}  // namespace replidb::workload
+
+#endif  // REPLIDB_WORKLOAD_LOAD_GENERATOR_H_

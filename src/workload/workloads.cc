@@ -1,0 +1,243 @@
+#include "workload/workloads.h"
+
+namespace replidb::workload {
+
+using middleware::TxnRequest;
+
+// ---------------------------------------------------------------------------
+// TicketBrokerWorkload
+
+std::vector<std::string> TicketBrokerWorkload::SetupStatements() const {
+  std::vector<std::string> out;
+  out.push_back(
+      "CREATE TABLE inventory (item INT PRIMARY KEY, stock INT, price DOUBLE)");
+  out.push_back(
+      "CREATE TABLE bookings (id INT PRIMARY KEY AUTO_INCREMENT, agent INT, "
+      "item INT, qty INT)");
+  std::string batch;
+  for (int i = 0; i < options_.items; ++i) {
+    if (batch.empty()) {
+      batch = "INSERT INTO inventory VALUES ";
+    } else {
+      batch += ", ";
+    }
+    batch += "(" + std::to_string(i) + ", 1000, " +
+             std::to_string(50 + (i % 400)) + ".0)";
+    if ((i + 1) % 200 == 0 || i + 1 == options_.items) {
+      out.push_back(batch);
+      batch.clear();
+    }
+  }
+  return out;
+}
+
+TxnRequest TicketBrokerWorkload::Next(Rng* rng) {
+  TxnRequest req;
+  int64_t item =
+      static_cast<int64_t>(rng->Zipf(static_cast<uint64_t>(options_.items),
+                                     options_.zipf_theta));
+  if (rng->Chance(options_.write_fraction)) {
+    // Booking: check stock, record booking, decrement inventory.
+    int64_t agent = rng->UniformRange(0, options_.agents - 1);
+    int64_t qty = rng->UniformRange(1, 4);
+    req.read_only = false;
+    req.statements.push_back("SELECT stock FROM inventory WHERE item = " +
+                             std::to_string(item));
+    req.statements.push_back("INSERT INTO bookings (agent, item, qty) VALUES (" +
+                             std::to_string(agent) + ", " +
+                             std::to_string(item) + ", " +
+                             std::to_string(qty) + ")");
+    req.statements.push_back("UPDATE inventory SET stock = stock - " +
+                             std::to_string(qty) + " WHERE item = " +
+                             std::to_string(item));
+  } else {
+    req.read_only = true;
+    if (rng->Chance(0.7)) {
+      req.statements.push_back(
+          "SELECT stock, price FROM inventory WHERE item = " +
+          std::to_string(item));
+    } else {
+      // Booking status lookup by key (agents re-check recent bookings).
+      int64_t booking = rng->UniformRange(1, 2000);
+      req.statements.push_back("SELECT * FROM bookings WHERE id = " +
+                               std::to_string(booking));
+    }
+  }
+  req.partition_hint = item;
+  return req;
+}
+
+// ---------------------------------------------------------------------------
+// MicroWorkload
+
+std::vector<std::string> MicroWorkload::SetupStatements() const {
+  std::vector<std::string> out;
+  out.push_back("CREATE TABLE accounts (id INT PRIMARY KEY, balance INT)");
+  std::string batch;
+  for (int i = 0; i < options_.rows; ++i) {
+    if (batch.empty()) {
+      batch = "INSERT INTO accounts VALUES ";
+    } else {
+      batch += ", ";
+    }
+    batch += "(" + std::to_string(i) + ", 1000)";
+    if ((i + 1) % 200 == 0 || i + 1 == options_.rows) {
+      out.push_back(batch);
+      batch.clear();
+    }
+  }
+  return out;
+}
+
+TxnRequest MicroWorkload::Next(Rng* rng) {
+  TxnRequest req;
+  auto pick_row = [this, rng]() -> int64_t {
+    if (options_.hot_fraction > 0 && rng->Chance(options_.hot_fraction)) {
+      return rng->UniformRange(0, options_.hot_rows - 1);
+    }
+    return rng->UniformRange(0, options_.rows - 1);
+  };
+  if (rng->Chance(options_.write_fraction)) {
+    req.read_only = false;
+    for (int i = 0; i < options_.statements_per_write; ++i) {
+      int64_t row = pick_row();
+      req.statements.push_back(
+          "UPDATE accounts SET balance = balance + 1 WHERE id = " +
+          std::to_string(row));
+      req.partition_hint = row;
+    }
+  } else {
+    int64_t row = pick_row();
+    req.read_only = true;
+    req.statements.push_back("SELECT balance FROM accounts WHERE id = " +
+                             std::to_string(row));
+    req.partition_hint = row;
+  }
+  return req;
+}
+
+// ---------------------------------------------------------------------------
+// BatchScriptWorkload
+
+std::vector<std::string> BatchScriptWorkload::SetupStatements() const {
+  std::vector<std::string> out;
+  out.push_back("CREATE TABLE batch_rows (id INT PRIMARY KEY, v INT)");
+  std::string batch;
+  for (int i = 0; i < rows_; ++i) {
+    if (batch.empty()) {
+      batch = "INSERT INTO batch_rows VALUES ";
+    } else {
+      batch += ", ";
+    }
+    batch += "(" + std::to_string(i) + ", 0)";
+    if ((i + 1) % 200 == 0 || i + 1 == rows_) {
+      out.push_back(batch);
+      batch.clear();
+    }
+  }
+  return out;
+}
+
+TxnRequest BatchScriptWorkload::Next(Rng* rng) {
+  (void)rng;
+  TxnRequest req;
+  req.read_only = false;
+  int64_t row = cursor_++ % rows_;
+  req.statements.push_back("UPDATE batch_rows SET v = v + 1 WHERE id = " +
+                           std::to_string(row));
+  req.partition_hint = row;
+  return req;
+}
+
+// ---------------------------------------------------------------------------
+// MultiTableWorkload
+
+std::vector<std::string> MultiTableWorkload::SetupStatements() const {
+  std::vector<std::string> out;
+  for (int t = 0; t < options_.tables; ++t) {
+    std::string name = "ws_" + std::to_string(t);
+    out.push_back("CREATE TABLE " + name + " (id INT PRIMARY KEY, v INT)");
+    std::string batch;
+    for (int i = 0; i < options_.rows_per_table; ++i) {
+      if (batch.empty()) {
+        batch = "INSERT INTO " + name + " VALUES ";
+      } else {
+        batch += ", ";
+      }
+      batch += "(" + std::to_string(i) + ", 0)";
+      if ((i + 1) % 200 == 0 || i + 1 == options_.rows_per_table) {
+        out.push_back(batch);
+        batch.clear();
+      }
+    }
+  }
+  return out;
+}
+
+TxnRequest MultiTableWorkload::Next(Rng* rng) {
+  TxnRequest req;
+  int64_t t = rng->UniformRange(0, options_.tables - 1);
+  std::string name = "ws_" + std::to_string(t);
+  if (rng->Chance(options_.write_fraction)) {
+    int64_t row = rng->UniformRange(0, options_.rows_per_table - 1);
+    req.read_only = false;
+    req.statements.push_back("UPDATE " + name + " SET v = v + 1 WHERE id = " +
+                             std::to_string(row));
+  } else {
+    // Working-set scan: touches the whole table (memory-resident or not).
+    req.read_only = true;
+    req.statements.push_back("SELECT SUM(v) FROM " + name);
+  }
+  req.partition_hint = t;
+  return req;
+}
+
+// ---------------------------------------------------------------------------
+// PartitionedOrdersWorkload
+
+std::vector<std::string> PartitionedOrdersWorkload::SetupStatements() const {
+  std::vector<std::string> out;
+  out.push_back(
+      "CREATE TABLE orders (id INT PRIMARY KEY AUTO_INCREMENT, customer INT, "
+      "amount DOUBLE)");
+  out.push_back(
+      "CREATE TABLE customers (id INT PRIMARY KEY, order_count INT)");
+  std::string batch;
+  for (int i = 0; i < options_.customers; ++i) {
+    if (batch.empty()) {
+      batch = "INSERT INTO customers VALUES ";
+    } else {
+      batch += ", ";
+    }
+    batch += "(" + std::to_string(i) + ", 0)";
+    if ((i + 1) % 200 == 0 || i + 1 == options_.customers) {
+      out.push_back(batch);
+      batch.clear();
+    }
+  }
+  return out;
+}
+
+TxnRequest PartitionedOrdersWorkload::Next(Rng* rng) {
+  TxnRequest req;
+  int64_t customer = rng->UniformRange(0, options_.customers - 1);
+  req.partition_hint = customer;
+  if (rng->Chance(options_.write_fraction)) {
+    req.read_only = false;
+    req.statements.push_back(
+        "INSERT INTO orders (customer, amount) VALUES (" +
+        std::to_string(customer) + ", " +
+        std::to_string(10 + customer % 90) + ".5)");
+    req.statements.push_back(
+        "UPDATE customers SET order_count = order_count + 1 WHERE id = " +
+        std::to_string(customer));
+  } else {
+    req.read_only = true;
+    req.statements.push_back(
+        "SELECT order_count FROM customers WHERE id = " +
+        std::to_string(customer));
+  }
+  return req;
+}
+
+}  // namespace replidb::workload

@@ -1,0 +1,135 @@
+#ifndef REPLIDB_WORKLOAD_WORKLOADS_H_
+#define REPLIDB_WORKLOAD_WORKLOADS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "middleware/common.h"
+
+namespace replidb::workload {
+
+/// \brief A workload produces the initial database population and an
+/// endless stream of transactions.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Statements that create the schema and seed data. Run identically on
+  /// every replica before traffic starts.
+  virtual std::vector<std::string> SetupStatements() const = 0;
+
+  /// Next transaction to submit.
+  virtual middleware::TxnRequest Next(Rng* rng) = 0;
+};
+
+/// \brief The paper's §1 Fortune-500 travel-broker workload: 95 %
+/// read-only availability lookups, 5 % booking writes, Zipf-skewed items.
+class TicketBrokerWorkload : public Workload {
+ public:
+  struct Options {
+    int items = 2000;          ///< Inventory size.
+    int agents = 500;          ///< Travel agencies.
+    double write_fraction = 0.05;
+    double zipf_theta = 0.6;   ///< Item popularity skew.
+  };
+
+  TicketBrokerWorkload() : TicketBrokerWorkload(Options{}) {}
+  explicit TicketBrokerWorkload(Options options) : options_(options) {}
+
+  std::vector<std::string> SetupStatements() const override;
+  middleware::TxnRequest Next(Rng* rng) override;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+/// \brief Micro update/read mix on one accounts table: the knobs that
+/// matter are write fraction (multi-master saturation, C2) and hot-row
+/// skew (certification conflicts, C5).
+class MicroWorkload : public Workload {
+ public:
+  struct Options {
+    int rows = 1000;
+    double write_fraction = 0.2;
+    /// Fraction of writes that hit the hot set (first `hot_rows` rows).
+    double hot_fraction = 0.0;
+    int hot_rows = 10;
+    /// Statements per write transaction.
+    int statements_per_write = 1;
+  };
+
+  MicroWorkload() : MicroWorkload(Options{}) {}
+  explicit MicroWorkload(Options options) : options_(options) {}
+
+  std::vector<std::string> SetupStatements() const override;
+  middleware::TxnRequest Next(Rng* rng) override;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+/// \brief Sequential batch script (§4.4.5): single-row updates issued one
+/// after another by one client — the workload that suffers most from
+/// middleware latency overhead.
+class BatchScriptWorkload : public Workload {
+ public:
+  explicit BatchScriptWorkload(int rows = 1000) : rows_(rows) {}
+
+  std::vector<std::string> SetupStatements() const override;
+  middleware::TxnRequest Next(Rng* rng) override;
+
+ private:
+  int rows_;
+  int cursor_ = 0;
+};
+
+/// \brief Many-table workload for the memory-aware load-balancing
+/// experiment (C4): each transaction works within one of `tables` table
+/// working sets; a replica whose buffer pool holds the table runs it much
+/// faster.
+class MultiTableWorkload : public Workload {
+ public:
+  struct Options {
+    int tables = 12;
+    int rows_per_table = 300;
+    double write_fraction = 0.1;
+  };
+
+  MultiTableWorkload() : MultiTableWorkload(Options{}) {}
+  explicit MultiTableWorkload(Options options) : options_(options) {}
+
+  std::vector<std::string> SetupStatements() const override;
+  middleware::TxnRequest Next(Rng* rng) override;
+
+ private:
+  Options options_;
+};
+
+/// \brief Partitioned workload (Figure 2): orders keyed by customer;
+/// `partition_hint` carries the partition key so drivers route to the
+/// owning partition's controller.
+class PartitionedOrdersWorkload : public Workload {
+ public:
+  struct Options {
+    int customers = 3000;
+    double write_fraction = 0.5;  ///< Write-heavy: partitioning's use case.
+  };
+
+  PartitionedOrdersWorkload() : PartitionedOrdersWorkload(Options{}) {}
+  explicit PartitionedOrdersWorkload(Options options) : options_(options) {}
+
+  std::vector<std::string> SetupStatements() const override;
+  middleware::TxnRequest Next(Rng* rng) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace replidb::workload
+
+#endif  // REPLIDB_WORKLOAD_WORKLOADS_H_

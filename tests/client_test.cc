@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include "client/connection_pool.h"
+#include "middleware/cluster.h"
+
+namespace replidb::client {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+
+// --- ConnectionPool (§4.3.3) --------------------------------------------------
+
+TEST(ConnectionPoolTest, InitialPinsAreBalanced) {
+  sim::Simulator sim;
+  ConnectionPool::Options o;
+  o.size = 30;
+  ConnectionPool pool(&sim, {1, 2, 3}, o);
+  auto dist = pool.Distribution();
+  for (const auto& [endpoint, pins] : dist) {
+    (void)endpoint;
+    EXPECT_EQ(pins, 10);
+  }
+  EXPECT_NEAR(pool.Imbalance(), 1.0, 0.01);
+}
+
+TEST(ConnectionPoolTest, FailoverReassignsPins) {
+  sim::Simulator sim;
+  ConnectionPool::Options o;
+  o.size = 30;
+  ConnectionPool pool(&sim, {1, 2, 3}, o);
+  pool.MarkFailed(2);
+  auto dist = pool.Distribution();
+  EXPECT_EQ(dist.count(2), 0u);
+  int total = 0;
+  for (const auto& [e, n] : dist) {
+    (void)e;
+    total += n;
+  }
+  EXPECT_EQ(total, 30) << "every connection must be repinned";
+}
+
+TEST(ConnectionPoolTest, FailbackWithoutRecyclingLeavesRecoveredNodeIdle) {
+  // The §4.3.3 pathology verbatim.
+  sim::Simulator sim;
+  ConnectionPool::Options o;
+  o.size = 30;
+  o.recycle_after = 0;  // Default pool: connections live forever.
+  ConnectionPool pool(&sim, {1, 2, 3}, o);
+  pool.MarkFailed(2);
+  sim.RunUntil(10 * kSecond);
+  pool.MarkRecovered(2);
+  // Keep acquiring; nothing moves back.
+  for (int i = 0; i < 300; ++i) pool.Acquire();
+  auto dist = pool.Distribution();
+  EXPECT_EQ(dist[2], 0) << "recovered node gets no traffic without recycling";
+  EXPECT_NEAR(pool.Imbalance(), 1.5, 0.01) << "15/10 on survivors";
+}
+
+TEST(ConnectionPoolTest, AggressiveRecyclingRebalancesAtACost) {
+  sim::Simulator sim;
+  ConnectionPool::Options o;
+  o.size = 30;
+  o.recycle_after = kSecond;
+  ConnectionPool pool(&sim, {1, 2, 3}, o);
+  pool.MarkFailed(2);
+  sim.RunUntil(10 * kSecond);
+  pool.MarkRecovered(2);
+  uint64_t reconnects_before = pool.reconnects();
+  // Drive acquisitions past the recycle age.
+  for (int t = 0; t < 5; ++t) {
+    sim.RunUntil(sim.Now() + 2 * kSecond);
+    for (int i = 0; i < 60; ++i) pool.Acquire();
+  }
+  auto dist = pool.Distribution();
+  EXPECT_GT(dist[2], 0) << "recycling lets failback happen";
+  EXPECT_GT(pool.reconnects(), reconnects_before + 25u)
+      << "...at the price of constant reconnect churn (§4.3.3)";
+}
+
+TEST(ConnectionPoolTest, AcquireAfterTotalFailureReturnsInvalid) {
+  sim::Simulator sim;
+  ConnectionPool pool(&sim, {1}, ConnectionPool::Options{});
+  pool.MarkFailed(1);
+  EXPECT_EQ(pool.Acquire(), -1);
+  pool.MarkRecovered(1);
+  EXPECT_EQ(pool.Acquire(), 1);
+}
+
+// --- Rolling upgrade (§4.4.3) ----------------------------------------------------
+
+TEST(RollingUpgradeTest, UpgradesAllReplicasWithoutServiceInterruption) {
+  middleware::ClusterOptions opts;
+  opts.replicas = 3;
+  opts.controller.mode = middleware::ReplicationMode::kMasterSlaveAsync;
+  opts.controller.heartbeat.period = 200 * kMillisecond;
+  opts.controller.heartbeat.timeout = 200 * kMillisecond;
+  opts.controller.heartbeat.miss_threshold = 2;
+  opts.driver.max_retries = 10;
+  opts.driver.request_timeout = 500 * kMillisecond;
+  middleware::Cluster c(std::move(opts));
+  c.Setup({"CREATE TABLE t (id INT PRIMARY KEY, v INT)",
+           "INSERT INTO t VALUES (1, 0)"});
+  c.Start();
+
+  // Continuous writes throughout the upgrade.
+  int committed = 0, failed = 0;
+  sim::PeriodicTask writer(&c.sim, 50 * kMillisecond, [&] {
+    middleware::TxnRequest req;
+    req.statements = {"UPDATE t SET v = v + 1 WHERE id = 1"};
+    c.driver()->Submit(std::move(req),
+                       [&](const middleware::TxnResult& r) {
+                         r.status.ok() ? ++committed : ++failed;
+                       });
+  });
+  writer.Start();
+
+  Status done = Status::Internal("callback never fired");
+  c.controller->RollingUpgrade(/*target_version=*/2,
+                               /*upgrade_duration=*/2 * kSecond,
+                               [&](Status s) { done = s; });
+  c.sim.RunFor(60 * kSecond);
+  writer.Stop();
+  c.sim.RunFor(5 * kSecond);
+
+  ASSERT_TRUE(done.ok()) << done.ToString();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(c.replica(i)->software_version(), 2) << "replica " << i;
+    EXPECT_EQ(c.controller->replica_state(i + 1),
+              middleware::Controller::ReplicaState::kOnline);
+  }
+  EXPECT_GT(committed, 500);
+  EXPECT_EQ(failed, 0) << "rolling upgrade must not interrupt service";
+  EXPECT_TRUE(c.Converged());
+}
+
+TEST(RollingUpgradeTest, AlreadyUpgradedReplicasAreSkipped) {
+  middleware::ClusterOptions opts;
+  opts.replicas = 2;
+  middleware::Cluster c(std::move(opts));
+  c.Setup({"CREATE TABLE t (id INT PRIMARY KEY)"});
+  c.Start();
+  c.replica(0)->set_software_version(2);
+  c.replica(1)->set_software_version(2);
+  bool fired = false;
+  c.controller->RollingUpgrade(2, kSecond, [&](Status s) {
+    EXPECT_TRUE(s.ok());
+    fired = true;
+  });
+  c.sim.RunFor(kSecond);
+  EXPECT_TRUE(fired) << "no-op upgrade completes immediately";
+}
+
+// --- Driver behaviours --------------------------------------------------------
+
+TEST(DriverTest, TracksPerControllerWatermarks) {
+  middleware::ClusterOptions opts;
+  opts.replicas = 2;
+  middleware::Cluster c(std::move(opts));
+  c.Setup({"CREATE TABLE t (id INT PRIMARY KEY, v INT)",
+           "INSERT INTO t VALUES (1, 0)"});
+  c.Start();
+  EXPECT_EQ(c.driver()->last_seen_version(0), 0u);
+  middleware::TxnRequest req;
+  req.statements = {"UPDATE t SET v = 1 WHERE id = 1"};
+  bool done = false;
+  c.driver()->Submit(std::move(req),
+                     [&](const middleware::TxnResult&) { done = true; });
+  while (!done) c.sim.RunFor(100 * kMillisecond);
+  EXPECT_GT(c.driver()->last_seen_version(0), 0u);
+}
+
+TEST(DriverTest, GivesUpAfterMaxRetries) {
+  middleware::ClusterOptions opts;
+  opts.replicas = 1;
+  opts.driver.max_retries = 2;
+  opts.driver.request_timeout = 200 * kMillisecond;
+  opts.driver.retry_backoff = 10 * kMillisecond;
+  middleware::Cluster c(std::move(opts));
+  c.Setup({"CREATE TABLE t (id INT PRIMARY KEY)"});
+  c.Start();
+  c.controller->Crash();  // Nothing will ever answer.
+  middleware::TxnRequest req;
+  req.statements = {"SELECT * FROM t"};
+  req.read_only = true;
+  middleware::TxnResult result;
+  bool done = false;
+  c.driver()->Submit(std::move(req), [&](const middleware::TxnResult& r) {
+    result = r;
+    done = true;
+  });
+  c.sim.RunFor(10 * kSecond);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(result.status.code(), StatusCode::kTimeout);
+  EXPECT_EQ(result.retries, 2);
+  EXPECT_EQ(c.driver()->gave_up(), 1u);
+}
+
+TEST(DriverTest, RetryOfCommittedWriteIsNotReExecuted) {
+  // Exactly-once: force a reply loss by crashing the DRIVER-facing path?
+  // Simpler: submit the same effects twice via timeout-induced retry with
+  // a very slow replica, then verify the increment applied exactly once.
+  middleware::ClusterOptions opts;
+  opts.replicas = 1;
+  opts.controller.mode = middleware::ReplicationMode::kMultiMasterStatement;
+  opts.driver.max_retries = 5;
+  opts.driver.request_timeout = 100 * kMillisecond;  // Tighter than exec.
+  opts.engine.cost_model.commit_us = 200000;         // 200 ms commits.
+  middleware::Cluster c(std::move(opts));
+  c.Setup({"CREATE TABLE t (id INT PRIMARY KEY, v INT)",
+           "INSERT INTO t VALUES (1, 0)"});
+  c.Start();
+  middleware::TxnRequest req;
+  req.statements = {"UPDATE t SET v = v + 1 WHERE id = 1"};
+  middleware::TxnResult result;
+  bool done = false;
+  c.driver()->Submit(std::move(req), [&](const middleware::TxnResult& r) {
+    result = r;
+    done = true;
+  });
+  c.sim.RunFor(20 * kSecond);
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_GT(result.retries, 0) << "test needs at least one driver retry";
+  engine::Rdbms* db = c.replica(0)->engine();
+  engine::SessionId s = db->Connect().value();
+  auto check = db->Execute(s, "SELECT v FROM t WHERE id = 1");
+  EXPECT_EQ(check.rows[0][0].AsInt(), 1)
+      << "the retried write must apply exactly once";
+}
+
+}  // namespace
+}  // namespace replidb::client

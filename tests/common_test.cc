@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/histogram.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace replidb {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  Status s = Status::NotFound("table t");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "table t");
+  EXPECT_EQ(s.ToString(), "NotFound: table t");
+}
+
+TEST(StatusTest, RetryableAborts) {
+  EXPECT_TRUE(Status::Aborted("x").IsRetryableAbort());
+  EXPECT_TRUE(Status::Deadlock("x").IsRetryableAbort());
+  EXPECT_TRUE(Status::Conflict("x").IsRetryableAbort());
+  EXPECT_FALSE(Status::NotFound("x").IsRetryableAbort());
+  EXPECT_FALSE(Status::Unavailable("x").IsRetryableAbort());
+  EXPECT_FALSE(Status::OK().IsRetryableAbort());
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.ValueOr(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::Timeout("net");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTimeout);
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(ResultTest, TakeValueMoves) {
+  Result<std::string> r = std::string("payload");
+  ASSERT_TRUE(r.ok());
+  std::string v = r.TakeValue();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = r.Uniform(10);
+    EXPECT_LT(v, 10u);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialMeanRoughlyCorrect) {
+  Rng r(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.Exponential(5.0);
+  double mean = sum / n;
+  EXPECT_NEAR(mean, 5.0, 0.3);
+}
+
+TEST(RngTest, ChanceRespectsProbability) {
+  Rng r(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += r.Chance(0.25);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng r(17);
+  int low = 0, high = 0;
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = r.Zipf(1000, 0.8);
+    EXPECT_LT(v, 1000u);
+    if (v < 100) ++low;
+    if (v >= 900) ++high;
+  }
+  EXPECT_GT(low, high * 3);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(21);
+  Rng b = a.Fork();
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 50; ++i) {
+    seen.insert(a.Next());
+    seen.insert(b.Next());
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Add(i);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 50.5);
+  EXPECT_EQ(h.Min(), 1.0);
+  EXPECT_EQ(h.Max(), 100.0);
+  EXPECT_NEAR(h.Median(), 50.5, 0.6);
+  EXPECT_NEAR(h.P95(), 95, 1.1);
+  EXPECT_NEAR(h.P99(), 99, 1.1);
+}
+
+TEST(HistogramTest, PercentileEdgeCases) {
+  Histogram h;
+  h.Add(10);
+  EXPECT_EQ(h.Percentile(0), 10.0);
+  EXPECT_EQ(h.Percentile(100), 10.0);
+  EXPECT_EQ(h.Percentile(50), 10.0);
+}
+
+TEST(HistogramTest, AddAfterQueryStillSorted) {
+  Histogram h;
+  h.Add(5);
+  EXPECT_EQ(h.Max(), 5.0);
+  h.Add(1);
+  h.Add(9);
+  EXPECT_EQ(h.Min(), 1.0);
+  EXPECT_EQ(h.Max(), 9.0);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.Add(1);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+}
+
+}  // namespace
+}  // namespace replidb

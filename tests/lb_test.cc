@@ -1,0 +1,155 @@
+// Load-balancing behaviours: granularity (§3.2) and policy plumbing that
+// the middleware integration tests don't pin down directly.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "middleware/cluster.h"
+
+namespace replidb::middleware {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+
+TxnRequest ReadReq() {
+  TxnRequest r;
+  r.statements = {"SELECT balance FROM accounts WHERE id = 1"};
+  r.read_only = true;
+  return r;
+}
+
+std::vector<std::string> AccountsSchema() {
+  return {"CREATE TABLE accounts (id INT PRIMARY KEY, balance INT)",
+          "INSERT INTO accounts VALUES (1, 100)"};
+}
+
+uint64_t StatementsServed(Cluster* c, int replica) {
+  return c->replica(replica)->engine()->stats().statements_executed;
+}
+
+TEST(GranularityTest, ConnectionLevelPinsEachClientToOneReplica) {
+  ClusterOptions opts;
+  opts.replicas = 3;
+  opts.drivers = 2;
+  opts.controller.granularity = LoadBalanceGranularity::kConnection;
+  opts.controller.consistency = ConsistencyLevel::kEventual;
+  Cluster c(std::move(opts));
+  c.Setup(AccountsSchema());
+  c.Start();
+
+  uint64_t base[3];
+  for (int i = 0; i < 3; ++i) base[i] = StatementsServed(&c, i);
+  // 20 reads from driver 0 only.
+  int done = 0;
+  for (int i = 0; i < 20; ++i) {
+    c.driver(0)->Submit(ReadReq(), [&](const TxnResult&) { ++done; });
+  }
+  c.sim.RunFor(5 * kSecond);
+  ASSERT_EQ(done, 20);
+  int replicas_used = 0;
+  for (int i = 0; i < 3; ++i) {
+    if (StatementsServed(&c, i) > base[i]) ++replicas_used;
+  }
+  EXPECT_EQ(replicas_used, 1) << "sticky connection must hit one replica";
+}
+
+TEST(GranularityTest, TransactionLevelSpreadsOneClient) {
+  ClusterOptions opts;
+  opts.replicas = 3;
+  opts.controller.granularity = LoadBalanceGranularity::kTransaction;
+  opts.controller.load_balance = LoadBalancePolicy::kRoundRobin;
+  opts.controller.consistency = ConsistencyLevel::kEventual;
+  Cluster c(std::move(opts));
+  c.Setup(AccountsSchema());
+  c.Start();
+  uint64_t base[3];
+  for (int i = 0; i < 3; ++i) base[i] = StatementsServed(&c, i);
+  int done = 0;
+  for (int i = 0; i < 21; ++i) {
+    c.driver(0)->Submit(ReadReq(), [&](const TxnResult&) { ++done; });
+  }
+  c.sim.RunFor(5 * kSecond);
+  ASSERT_EQ(done, 21);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_GT(StatementsServed(&c, i), base[i]) << "replica " << i;
+  }
+}
+
+TEST(GranularityTest, ConnectionRepinsWhenItsReplicaFails) {
+  ClusterOptions opts;
+  opts.replicas = 2;
+  opts.controller.granularity = LoadBalanceGranularity::kConnection;
+  opts.controller.consistency = ConsistencyLevel::kEventual;
+  opts.controller.heartbeat.period = 200 * kMillisecond;
+  opts.controller.heartbeat.timeout = 200 * kMillisecond;
+  opts.controller.heartbeat.miss_threshold = 2;
+  opts.driver.max_retries = 10;
+  opts.driver.request_timeout = 500 * kMillisecond;
+  Cluster c(std::move(opts));
+  c.Setup(AccountsSchema());
+  c.Start();
+  // Establish the pin.
+  bool ok = false;
+  c.driver(0)->Submit(ReadReq(), [&](const TxnResult& r) { ok = r.status.ok(); });
+  c.sim.RunFor(2 * kSecond);
+  ASSERT_TRUE(ok);
+  // Find which replica got pinned, crash it, and read again.
+  int pinned = StatementsServed(&c, 0) > StatementsServed(&c, 1) ? 0 : 1;
+  c.replica(pinned)->Crash();
+  c.sim.RunFor(3 * kSecond);
+  bool ok2 = false;
+  c.driver(0)->Submit(ReadReq(), [&](const TxnResult& r) { ok2 = r.status.ok(); });
+  c.sim.RunFor(3 * kSecond);
+  EXPECT_TRUE(ok2) << "connection must re-pin to a live replica";
+}
+
+TEST(CostModelTest, ReadOnlyCommitIsCheap) {
+  engine::Rdbms db{engine::RdbmsOptions{}};
+  engine::SessionId s = db.Connect().value();
+  db.Execute(s, "CREATE TABLE t (id INT PRIMARY KEY)");
+  db.Execute(s, "INSERT INTO t VALUES (1)");
+  db.Execute(s, "BEGIN");
+  db.Execute(s, "SELECT * FROM t");
+  engine::ExecResult ro_commit = db.Execute(s, "COMMIT");
+  db.Execute(s, "BEGIN");
+  db.Execute(s, "UPDATE t SET id = 2 WHERE id = 1");
+  engine::ExecResult w_commit = db.Execute(s, "COMMIT");
+  EXPECT_LT(ro_commit.cost_us, w_commit.cost_us)
+      << "read-only commits must not pay the durable log flush";
+}
+
+TEST(MemoryAwareTest, AffinityKeepsTablesOnTheirReplica) {
+  ClusterOptions opts;
+  opts.replicas = 2;
+  opts.controller.load_balance = LoadBalancePolicy::kMemoryAware;
+  opts.controller.consistency = ConsistencyLevel::kEventual;
+  opts.replica.hot_table_capacity = 2;
+  Cluster c(std::move(opts));
+  c.Setup({"CREATE TABLE ta (id INT PRIMARY KEY, v INT)",
+           "CREATE TABLE tb (id INT PRIMARY KEY, v INT)",
+           "INSERT INTO ta VALUES (1, 0)", "INSERT INTO tb VALUES (1, 0)"});
+  c.Start();
+  auto read_of = [](const char* table) {
+    TxnRequest r;
+    r.statements = {std::string("SELECT v FROM ") + table + " WHERE id = 1"};
+    r.read_only = true;
+    return r;
+  };
+  int done = 0;
+  for (int i = 0; i < 30; ++i) {
+    c.driver()->Submit(read_of(i % 2 ? "ta" : "tb"),
+                       [&](const TxnResult&) { ++done; });
+  }
+  c.sim.RunFor(5 * kSecond);
+  ASSERT_EQ(done, 30);
+  // Each table's reads should concentrate on one replica (15/15 split).
+  uint64_t s0 = StatementsServed(&c, 0);
+  uint64_t s1 = StatementsServed(&c, 1);
+  EXPECT_GT(s0, 0u);
+  EXPECT_GT(s1, 0u);
+}
+
+}  // namespace
+}  // namespace replidb::middleware

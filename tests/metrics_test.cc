@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "metrics/availability.h"
+#include "metrics/report.h"
+
+namespace replidb::metrics {
+namespace {
+
+using sim::kHour;
+using sim::kMinute;
+using sim::kSecond;
+
+TEST(AvailabilityTest, StartsUpWithFullAvailability) {
+  AvailabilityTracker t;
+  EXPECT_TRUE(t.IsUp());
+  EXPECT_DOUBLE_EQ(t.Availability(kHour), 1.0);
+  EXPECT_EQ(t.Downtime(kHour), 0);
+  EXPECT_EQ(t.outages(), 0);
+}
+
+TEST(AvailabilityTest, SingleOutageAccounting) {
+  AvailabilityTracker t;
+  t.MarkDown(10 * kMinute);
+  EXPECT_FALSE(t.IsUp());
+  t.MarkUp(15 * kMinute);
+  EXPECT_TRUE(t.IsUp());
+  EXPECT_EQ(t.Downtime(kHour), 5 * kMinute);
+  EXPECT_EQ(t.Uptime(kHour), 55 * kMinute);
+  EXPECT_NEAR(t.Availability(kHour), 55.0 / 60.0, 1e-9);
+  EXPECT_EQ(t.outages(), 1);
+  EXPECT_DOUBLE_EQ(t.MttrMicros(), 5.0 * kMinute);
+}
+
+TEST(AvailabilityTest, OngoingOutageCountsToEnd) {
+  AvailabilityTracker t;
+  t.MarkDown(50 * kMinute);
+  EXPECT_EQ(t.Downtime(kHour), 10 * kMinute);
+  EXPECT_EQ(t.outages(), 1);
+  EXPECT_DOUBLE_EQ(t.MttrMicros(), 0.0) << "no completed outage yet";
+}
+
+TEST(AvailabilityTest, DoubleMarkIsIdempotent) {
+  AvailabilityTracker t;
+  t.MarkDown(10 * kMinute);
+  t.MarkDown(20 * kMinute);  // Already down: no second outage.
+  t.MarkUp(30 * kMinute);
+  t.MarkUp(40 * kMinute);
+  EXPECT_EQ(t.outages(), 1);
+  EXPECT_EQ(t.Downtime(kHour), 20 * kMinute);
+}
+
+TEST(AvailabilityTest, NinesComputation) {
+  AvailabilityTracker t;
+  // 5.26 minutes of downtime in a year ~= five nines (the paper's bar).
+  sim::Duration year = 365 * sim::kDay;
+  t.MarkDown(0);
+  t.MarkUp(static_cast<sim::TimePoint>(5.26 * kMinute));
+  double nines = t.Nines(year);
+  EXPECT_NEAR(nines, 5.0, 0.01);
+}
+
+TEST(AvailabilityTest, PerfectUptimeCapsAtNineNines) {
+  AvailabilityTracker t;
+  EXPECT_DOUBLE_EQ(t.Nines(kHour), 9.0);
+}
+
+TEST(AvailabilityTest, MttfTracksUptimePerOutage) {
+  AvailabilityTracker t;
+  t.MarkDown(30 * kMinute);
+  t.MarkUp(31 * kMinute);
+  t.MarkDown(59 * kMinute);
+  t.MarkUp(60 * kMinute);
+  // Two outages; uptime 58 min over the hour => MTTF 29 min.
+  EXPECT_NEAR(t.MttfMicros(kHour), 29.0 * kMinute, 1.0);
+}
+
+TEST(AvailabilityTest, SummaryMentionsKeyNumbers) {
+  AvailabilityTracker t;
+  t.MarkDown(10 * kMinute);
+  t.MarkUp(11 * kMinute);
+  std::string s = t.Summary(kHour);
+  EXPECT_NE(s.find("outages=1"), std::string::npos);
+  EXPECT_NE(s.find("availability="), std::string::npos);
+}
+
+TEST(TablePrinterTest, FormatHelpers) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Num(10, 0), "10");
+  EXPECT_EQ(TablePrinter::Int(-42), "-42");
+}
+
+TEST(TablePrinterTest, RowsPadToHeaderCount) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"1"});  // Short row must not crash Print.
+  t.AddRow({"1", "2", "3"});
+  t.Print("test");  // Smoke: no crash, output inspected manually.
+}
+
+}  // namespace
+}  // namespace replidb::metrics

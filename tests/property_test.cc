@@ -1,0 +1,225 @@
+// Property-based tests: invariants that must hold for ANY workload, any
+// replication mode, any fault schedule.
+//
+//  P1  Convergence: after the load stops and replication drains, all live
+//      replicas hold identical committed data.
+//  P2  Conservation: the workload only moves balance between rows, so the
+//      cluster-wide SUM(balance) is exactly (initial + successful
+//      increments) on every replica.
+//  P3  Durability of acknowledgement: every transaction acked committed is
+//      visible afterwards — except the quantified 1-safe loss window,
+//      which the controller must account for exactly.
+//  P4  Crash/recovery convergence: random crash/restart schedules during
+//      load still end in convergence once everything is repaired.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "faults/fault_injector.h"
+#include "middleware/cluster.h"
+#include "workload/load_generator.h"
+#include "workload/workloads.h"
+
+namespace replidb::middleware {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+
+std::string ModeName(ReplicationMode m) {
+  switch (m) {
+    case ReplicationMode::kMasterSlaveAsync: return "MsAsync";
+    case ReplicationMode::kMasterSlaveSync: return "MsSync";
+    case ReplicationMode::kMultiMasterStatement: return "MmStmt";
+    case ReplicationMode::kMultiMasterCertification: return "MmCert";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// P1+P2: convergence and conservation under concurrent random load.
+
+using SweepParam = std::tuple<ReplicationMode, int /*seed*/>;
+
+class ConvergenceSweep : public ::testing::TestWithParam<SweepParam> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndSeeds, ConvergenceSweep,
+    ::testing::Combine(
+        ::testing::Values(ReplicationMode::kMasterSlaveAsync,
+                          ReplicationMode::kMasterSlaveSync,
+                          ReplicationMode::kMultiMasterStatement,
+                          ReplicationMode::kMultiMasterCertification),
+        ::testing::Values(1, 2, 3)),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return ModeName(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST_P(ConvergenceSweep, ConvergesAndConservesMoney) {
+  auto [mode, seed] = GetParam();
+  workload::MicroWorkload::Options wo;
+  wo.rows = 150;
+  wo.write_fraction = 0.4;
+  wo.hot_fraction = 0.3;  // Real contention.
+  wo.hot_rows = 5;
+  workload::MicroWorkload w(wo);
+
+  ClusterOptions opts;
+  opts.replicas = 3;
+  opts.drivers = 4;
+  opts.controller.mode = mode;
+  opts.driver.max_retries = 6;
+  Cluster c(std::move(opts));
+  c.Setup(w.SetupStatements());
+  c.Start();
+
+  std::vector<std::unique_ptr<workload::ClosedLoopGenerator>> gens;
+  sim::TimePoint stop = c.sim.Now() + 8 * kSecond;
+  for (int d = 0; d < 4; ++d) {
+    gens.push_back(std::make_unique<workload::ClosedLoopGenerator>(
+        &c.sim, c.driver(d), &w, /*clients=*/4, 0,
+        static_cast<uint64_t>(seed * 100 + d)));
+    gens.back()->Arm(stop);
+  }
+  c.sim.RunUntil(stop);
+  c.sim.RunFor(10 * kSecond);  // Drain replication.
+
+  uint64_t committed_writes = 0;
+  for (auto& g : gens) {
+    committed_writes += g->stats().write_latency_ms.count();
+  }
+  ASSERT_GT(committed_writes, 100u) << "sweep must exercise real load";
+
+  // P1: all replicas identical.
+  EXPECT_TRUE(c.Converged())
+      << ModeName(mode) << " diverged (" << c.DistinctContents()
+      << " distinct states)";
+  EXPECT_EQ(c.TotalApplyErrors(), 0u);
+
+  // P2: SUM(balance) == initial + one increment per acked commit, on every
+  // replica (each write adds exactly +1).
+  int64_t expected = 150 * 1000 + static_cast<int64_t>(committed_writes);
+  for (int i = 0; i < 3; ++i) {
+    engine::Rdbms* db = c.replica(i)->engine();
+    engine::SessionId s = db->Connect().value();
+    engine::ExecResult r = db->Execute(s, "SELECT SUM(balance) FROM accounts");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.rows[0][0].AsInt(), expected)
+        << "replica " << i << " lost or duplicated an acked increment";
+    db->Disconnect(s);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// P3+P4: random crash schedules; convergence after repair; loss accounting.
+
+using CrashParam = std::tuple<ReplicationMode, int>;
+
+class CrashRecoverySweep : public ::testing::TestWithParam<CrashParam> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndSeeds, CrashRecoverySweep,
+    ::testing::Combine(
+        ::testing::Values(ReplicationMode::kMasterSlaveAsync,
+                          ReplicationMode::kMultiMasterCertification,
+                          ReplicationMode::kMultiMasterStatement),
+        ::testing::Values(11, 12)),
+    [](const ::testing::TestParamInfo<CrashParam>& info) {
+      return ModeName(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST_P(CrashRecoverySweep, RecoversAndConvergesAfterRandomCrashes) {
+  auto [mode, seed] = GetParam();
+  workload::MicroWorkload::Options wo;
+  wo.rows = 100;
+  wo.write_fraction = 0.5;
+  workload::MicroWorkload w(wo);
+
+  ClusterOptions opts;
+  opts.replicas = 3;
+  opts.controller.mode = mode;
+  opts.controller.heartbeat.period = 200 * kMillisecond;
+  opts.controller.heartbeat.timeout = 200 * kMillisecond;
+  opts.controller.heartbeat.miss_threshold = 2;
+  opts.driver.max_retries = 8;
+  opts.driver.request_timeout = 500 * kMillisecond;
+  Cluster c(std::move(opts));
+  c.Setup(w.SetupStatements());
+  c.Start();
+
+  // Aggressive random crash/restart schedule across all replicas.
+  faults::FaultInjector::Options fo;
+  fo.node_mttf = 6 * kSecond;
+  fo.node_mttr = 2 * kSecond;
+  fo.seed = static_cast<uint64_t>(seed);
+  faults::FaultInjector injector(&c.sim, fo);
+  injector.ScheduleCrashLoop({c.replica(0), c.replica(1), c.replica(2)},
+                             c.sim.Now() + 20 * kSecond);
+
+  workload::ClosedLoopGenerator gen(&c.sim, c.driver(), &w, 8, 0,
+                                    static_cast<uint64_t>(seed));
+  gen.Run(20 * kSecond);
+  EXPECT_GT(injector.crashes_injected(), 0) << "schedule must inject faults";
+
+  // Repair everything and let resync finish.
+  for (int i = 0; i < 3; ++i) {
+    if (c.replica(i)->crashed()) c.replica(i)->Restart();
+  }
+  c.sim.RunFor(30 * kSecond);
+
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(c.controller->replica_state(i + 1),
+              Controller::ReplicaState::kOnline)
+        << "replica " << i << " must rejoin";
+  }
+  EXPECT_TRUE(c.Converged())
+      << ModeName(mode) << " diverged after crash/recovery ("
+      << c.DistinctContents() << " states)";
+
+  // P3: conservation modulo the accounted 1-safe loss. Acked increments
+  // can exceed surviving data only by what the controller reported lost.
+  uint64_t acked = gen.stats().write_latency_ms.count();
+  engine::Rdbms* db = c.replica(0)->engine();
+  engine::SessionId s = db->Connect().value();
+  engine::ExecResult r = db->Execute(s, "SELECT SUM(balance) FROM accounts");
+  ASSERT_TRUE(r.ok());
+  int64_t surviving_increments = r.rows[0][0].AsInt() - 100 * 1000;
+  int64_t missing = static_cast<int64_t>(acked) - surviving_increments;
+  EXPECT_GE(missing, 0) << "more data than acknowledgements?!";
+  EXPECT_LE(missing,
+            static_cast<int64_t>(c.controller->stats().lost_transactions))
+      << "unaccounted lost transactions";
+  db->Disconnect(s);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism of the whole stack: same seed, same trace.
+
+TEST(DeterminismProperty, IdenticalSeedsProduceIdenticalRuns) {
+  auto run = []() {
+    workload::TicketBrokerWorkload w;
+    ClusterOptions opts;
+    opts.replicas = 3;
+    opts.controller.mode = ReplicationMode::kMultiMasterCertification;
+    Cluster c(std::move(opts));
+    c.Setup(w.SetupStatements());
+    c.Start();
+    workload::OpenLoopGenerator gen(&c.sim, c.driver(), &w, 500, 99);
+    gen.Run(5 * kSecond);
+    return std::make_tuple(gen.stats().committed, gen.stats().failed,
+                           c.replica(0)->engine()->ContentHash(),
+                           c.controller->global_version());
+  };
+  auto a = run();
+  auto b = run();
+  EXPECT_EQ(a, b) << "the simulation must be fully deterministic";
+}
+
+}  // namespace
+}  // namespace replidb::middleware

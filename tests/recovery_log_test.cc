@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "middleware/recovery_log.h"
+
+namespace replidb::middleware {
+namespace {
+
+ReplicationEntry Entry(GlobalVersion v) {
+  ReplicationEntry e;
+  e.version = v;
+  e.statements = {"UPDATE t SET x = " + std::to_string(v)};
+  e.use_statements = true;
+  return e;
+}
+
+TEST(RecoveryLogTest, AppendAndRange) {
+  RecoveryLog log;
+  for (GlobalVersion v = 1; v <= 10; ++v) log.Append(Entry(v));
+  EXPECT_EQ(log.size(), 10u);
+  EXPECT_EQ(log.last_version(), 10u);
+  auto range = log.Range(3, 7);
+  ASSERT_EQ(range.size(), 4u);
+  EXPECT_EQ(range.front().version, 4u);
+  EXPECT_EQ(range.back().version, 7u);
+}
+
+TEST(RecoveryLogTest, RangeBeyondEndIsClamped) {
+  RecoveryLog log;
+  for (GlobalVersion v = 1; v <= 5; ++v) log.Append(Entry(v));
+  EXPECT_EQ(log.Range(0, 100).size(), 5u);
+  EXPECT_TRUE(log.Range(5, 100).empty());
+  EXPECT_TRUE(log.Range(7, 3).empty());
+}
+
+TEST(RecoveryLogTest, RangeSkipsGaps) {
+  RecoveryLog log;
+  log.Append(Entry(1));
+  log.Append(Entry(2));
+  log.Append(Entry(5));  // Gap after a failover truncation.
+  auto range = log.Range(0, 10);
+  ASSERT_EQ(range.size(), 3u);
+  EXPECT_EQ(range[2].version, 5u);
+}
+
+TEST(RecoveryLogTest, CheckpointsPerReplica) {
+  RecoveryLog log;
+  EXPECT_EQ(log.Checkpoint(1), 0u);
+  log.SetCheckpoint(1, 42);
+  log.SetCheckpoint(2, 17);
+  EXPECT_EQ(log.Checkpoint(1), 42u);
+  EXPECT_EQ(log.Checkpoint(2), 17u);
+}
+
+TEST(RecoveryLogTest, TruncationRespectsSlowestCheckpoint) {
+  RecoveryLog log;
+  for (GlobalVersion v = 1; v <= 20; ++v) log.Append(Entry(v));
+  log.SetCheckpoint(1, 15);
+  log.SetCheckpoint(2, 8);  // Laggard pins the log.
+  size_t dropped = log.TruncateThrough(20);
+  EXPECT_EQ(dropped, 8u);
+  EXPECT_EQ(log.size(), 12u);
+  EXPECT_EQ(log.Range(0, 100).front().version, 9u);
+}
+
+TEST(RecoveryLogTest, TruncationWithoutCheckpointsUsesGivenVersion) {
+  RecoveryLog log;
+  for (GlobalVersion v = 1; v <= 10; ++v) log.Append(Entry(v));
+  EXPECT_EQ(log.TruncateThrough(4), 4u);
+  EXPECT_EQ(log.size(), 6u);
+}
+
+TEST(RecoveryLogTest, SizeBytesGrowsWithContent) {
+  RecoveryLog log;
+  int64_t empty = log.SizeBytes();
+  log.Append(Entry(1));
+  EXPECT_GT(log.SizeBytes(), empty);
+}
+
+TEST(RecoveryLogTest, ReAppendOverwritesVersion) {
+  RecoveryLog log;
+  log.Append(Entry(1));
+  ReplicationEntry e = Entry(1);
+  e.statements = {"UPDATE t SET x = 999"};
+  log.Append(e);
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.Range(0, 2)[0].statements[0], "UPDATE t SET x = 999");
+}
+
+TEST(ReplicationEntryTest, SizeAccountsForPayload) {
+  ReplicationEntry small = Entry(1);
+  ReplicationEntry big = Entry(2);
+  for (int i = 0; i < 50; ++i) {
+    engine::WriteOp op;
+    op.table = "accounts";
+    op.primary_key = sql::Value::Int(i);
+    op.after = {sql::Value::Int(i), sql::Value::String("some payload")};
+    big.writeset.ops.push_back(std::move(op));
+  }
+  EXPECT_GT(big.SizeBytes(), small.SizeBytes());
+}
+
+}  // namespace
+}  // namespace replidb::middleware

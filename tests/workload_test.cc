@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "engine/rdbms.h"
+#include "sql/parser.h"
+#include "workload/load_generator.h"
+#include "workload/workloads.h"
+
+namespace replidb::workload {
+namespace {
+
+/// Every workload's setup must load cleanly into a fresh engine and every
+/// generated transaction must parse and (mostly) execute against it.
+class WorkloadContractTest : public ::testing::TestWithParam<int> {
+ protected:
+  std::unique_ptr<Workload> Make() {
+    switch (GetParam()) {
+      case 0: return std::make_unique<TicketBrokerWorkload>();
+      case 1: return std::make_unique<MicroWorkload>();
+      case 2: return std::make_unique<BatchScriptWorkload>();
+      case 3: return std::make_unique<MultiTableWorkload>();
+      case 4: return std::make_unique<PartitionedOrdersWorkload>();
+    }
+    return nullptr;
+  }
+};
+
+std::string WorkloadName(const ::testing::TestParamInfo<int>& info) {
+  switch (info.param) {
+    case 0: return "TicketBroker";
+    case 1: return "Micro";
+    case 2: return "BatchScript";
+    case 3: return "MultiTable";
+    case 4: return "PartitionedOrders";
+  }
+  return "Unknown";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadContractTest,
+                         ::testing::Range(0, 5), WorkloadName);
+
+TEST_P(WorkloadContractTest, SetupLoadsCleanly) {
+  auto w = Make();
+  engine::Rdbms db{engine::RdbmsOptions{}};
+  engine::SessionId s = db.Connect().value();
+  for (const std::string& stmt : w->SetupStatements()) {
+    engine::ExecResult r = db.Execute(s, stmt);
+    ASSERT_TRUE(r.ok()) << stmt << " -> " << r.status.ToString();
+  }
+}
+
+TEST_P(WorkloadContractTest, GeneratedStatementsParse) {
+  auto w = Make();
+  Rng rng(42);
+  for (int i = 0; i < 200; ++i) {
+    middleware::TxnRequest req = w->Next(&rng);
+    ASSERT_FALSE(req.statements.empty());
+    for (const std::string& stmt : req.statements) {
+      EXPECT_TRUE(sql::Parse(stmt).ok()) << stmt;
+    }
+  }
+}
+
+TEST_P(WorkloadContractTest, GeneratedTransactionsExecute) {
+  auto w = Make();
+  engine::Rdbms db{engine::RdbmsOptions{}};
+  engine::SessionId s = db.Connect().value();
+  for (const std::string& stmt : w->SetupStatements()) db.Execute(s, stmt);
+  Rng rng(43);
+  int failures = 0;
+  for (int i = 0; i < 200; ++i) {
+    middleware::TxnRequest req = w->Next(&rng);
+    db.Execute(s, "BEGIN");
+    bool ok = true;
+    for (const std::string& stmt : req.statements) {
+      if (!db.Execute(s, stmt).ok()) ok = false;
+    }
+    db.Execute(s, ok ? "COMMIT" : "ROLLBACK");
+    if (!ok) ++failures;
+  }
+  EXPECT_EQ(failures, 0) << "workload transactions must run clean";
+}
+
+TEST_P(WorkloadContractTest, ReadOnlyFlagMatchesStatements) {
+  auto w = Make();
+  Rng rng(44);
+  for (int i = 0; i < 200; ++i) {
+    middleware::TxnRequest req = w->Next(&rng);
+    bool has_write = false;
+    for (const std::string& stmt : req.statements) {
+      auto parsed = sql::Parse(stmt);
+      if (parsed.ok() && parsed.value().IsWrite()) has_write = true;
+    }
+    if (req.read_only) {
+      EXPECT_FALSE(has_write) << "read_only txn contains a write";
+    }
+  }
+}
+
+TEST(TicketBrokerTest, WriteFractionRoughlyHonored) {
+  TicketBrokerWorkload w;
+  Rng rng(7);
+  int writes = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    if (!w.Next(&rng).read_only) ++writes;
+  }
+  EXPECT_NEAR(static_cast<double>(writes) / n, 0.05, 0.015);
+}
+
+TEST(TicketBrokerTest, ZipfSkewsItemPopularity) {
+  TicketBrokerWorkload::Options o;
+  o.items = 1000;
+  o.zipf_theta = 0.8;
+  TicketBrokerWorkload w(o);
+  Rng rng(7);
+  int low_items = 0;
+  for (int i = 0; i < 2000; ++i) {
+    middleware::TxnRequest req = w.Next(&rng);
+    if (req.partition_hint < 100) ++low_items;
+  }
+  EXPECT_GT(low_items, 600) << "popular items must dominate";
+}
+
+TEST(BatchScriptTest, CyclesThroughRowsSequentially) {
+  BatchScriptWorkload w(10);
+  Rng rng(1);
+  std::set<int64_t> first_ten;
+  for (int i = 0; i < 10; ++i) first_ten.insert(w.Next(&rng).partition_hint);
+  EXPECT_EQ(first_ten.size(), 10u) << "each row visited once per cycle";
+}
+
+TEST(RunStatsTest, ThroughputAndAbortRate) {
+  RunStats s;
+  s.committed = 900;
+  s.failed = 100;
+  s.elapsed = 10 * sim::kSecond;
+  EXPECT_DOUBLE_EQ(s.ThroughputTps(), 90.0);
+  EXPECT_DOUBLE_EQ(s.AbortRate(), 0.1);
+}
+
+TEST(RunStatsTest, MergeCombinesEverything) {
+  RunStats a, b;
+  a.committed = 10;
+  a.failed = 1;
+  a.latency_ms.Add(5);
+  a.elapsed = 5 * sim::kSecond;
+  b.committed = 20;
+  b.failed = 2;
+  b.latency_ms.Add(15);
+  b.elapsed = 10 * sim::kSecond;
+  b.failures_by_code[StatusCode::kTimeout] = 2;
+  a.Merge(b);
+  EXPECT_EQ(a.committed, 30u);
+  EXPECT_EQ(a.failed, 3u);
+  EXPECT_EQ(a.latency_ms.count(), 2u);
+  EXPECT_EQ(a.elapsed, 10 * sim::kSecond);
+  EXPECT_EQ(a.failures_by_code[StatusCode::kTimeout], 2u);
+}
+
+TEST(RecordTest, RoutesLatencyByKind) {
+  RunStats s;
+  middleware::TxnRequest read;
+  read.read_only = true;
+  middleware::TxnResult ok;
+  ok.status = Status::OK();
+  ok.latency = 2 * sim::kMillisecond;
+  ok.staleness = 3;
+  Record(&s, read, ok);
+  middleware::TxnRequest write;
+  write.read_only = false;
+  Record(&s, write, ok);
+  middleware::TxnResult bad;
+  bad.status = Status::Timeout("x");
+  Record(&s, write, bad);
+  EXPECT_EQ(s.committed, 2u);
+  EXPECT_EQ(s.failed, 1u);
+  EXPECT_EQ(s.read_latency_ms.count(), 1u);
+  EXPECT_EQ(s.write_latency_ms.count(), 1u);
+  EXPECT_EQ(s.staleness.count(), 1u);
+  EXPECT_EQ(s.failures_by_code[StatusCode::kTimeout], 1u);
+}
+
+}  // namespace
+}  // namespace replidb::workload
