@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_c10_availability.cc" "bench/CMakeFiles/bench_c10_availability.dir/bench_c10_availability.cc.o" "gcc" "bench/CMakeFiles/bench_c10_availability.dir/bench_c10_availability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/middleware/CMakeFiles/replidb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/replidb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/replidb_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/replidb_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/replidb_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/middleware/CMakeFiles/replidb_middleware.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/replidb_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/replidb_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcs/CMakeFiles/replidb_gcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/replidb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/replidb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/replidb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c10_availability.dir/bench_c10_availability.cc.o"
+  "CMakeFiles/bench_c10_availability.dir/bench_c10_availability.cc.o.d"
+  "bench_c10_availability"
+  "bench_c10_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c10_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

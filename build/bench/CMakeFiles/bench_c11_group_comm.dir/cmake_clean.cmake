@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c11_group_comm.dir/bench_c11_group_comm.cc.o"
+  "CMakeFiles/bench_c11_group_comm.dir/bench_c11_group_comm.cc.o.d"
+  "bench_c11_group_comm"
+  "bench_c11_group_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c11_group_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

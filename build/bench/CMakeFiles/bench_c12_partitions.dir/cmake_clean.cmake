@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c12_partitions.dir/bench_c12_partitions.cc.o"
+  "CMakeFiles/bench_c12_partitions.dir/bench_c12_partitions.cc.o.d"
+  "bench_c12_partitions"
+  "bench_c12_partitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c12_partitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c13_management.dir/bench_c13_management.cc.o"
+  "CMakeFiles/bench_c13_management.dir/bench_c13_management.cc.o.d"
+  "bench_c13_management"
+  "bench_c13_management.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c13_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c1_ticket_broker.dir/bench_c1_ticket_broker.cc.o"
+  "CMakeFiles/bench_c1_ticket_broker.dir/bench_c1_ticket_broker.cc.o.d"
+  "bench_c1_ticket_broker"
+  "bench_c1_ticket_broker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c1_ticket_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c2_multimaster_saturation.dir/bench_c2_multimaster_saturation.cc.o"
+  "CMakeFiles/bench_c2_multimaster_saturation.dir/bench_c2_multimaster_saturation.cc.o.d"
+  "bench_c2_multimaster_saturation"
+  "bench_c2_multimaster_saturation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c2_multimaster_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

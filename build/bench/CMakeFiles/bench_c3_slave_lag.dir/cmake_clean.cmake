@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c3_slave_lag.dir/bench_c3_slave_lag.cc.o"
+  "CMakeFiles/bench_c3_slave_lag.dir/bench_c3_slave_lag.cc.o.d"
+  "bench_c3_slave_lag"
+  "bench_c3_slave_lag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c3_slave_lag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

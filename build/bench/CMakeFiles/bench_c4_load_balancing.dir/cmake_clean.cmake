@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c4_load_balancing.dir/bench_c4_load_balancing.cc.o"
+  "CMakeFiles/bench_c4_load_balancing.dir/bench_c4_load_balancing.cc.o.d"
+  "bench_c4_load_balancing"
+  "bench_c4_load_balancing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c4_load_balancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c6_stmt_vs_ws.dir/bench_c6_stmt_vs_ws.cc.o"
+  "CMakeFiles/bench_c6_stmt_vs_ws.dir/bench_c6_stmt_vs_ws.cc.o.d"
+  "bench_c6_stmt_vs_ws"
+  "bench_c6_stmt_vs_ws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c6_stmt_vs_ws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

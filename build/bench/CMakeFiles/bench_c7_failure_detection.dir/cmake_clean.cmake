@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c7_failure_detection.dir/bench_c7_failure_detection.cc.o"
+  "CMakeFiles/bench_c7_failure_detection.dir/bench_c7_failure_detection.cc.o.d"
+  "bench_c7_failure_detection"
+  "bench_c7_failure_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c7_failure_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

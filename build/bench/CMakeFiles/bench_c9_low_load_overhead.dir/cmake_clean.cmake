@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c9_low_load_overhead.dir/bench_c9_low_load_overhead.cc.o"
+  "CMakeFiles/bench_c9_low_load_overhead.dir/bench_c9_low_load_overhead.cc.o.d"
+  "bench_c9_low_load_overhead"
+  "bench_c9_low_load_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c9_low_load_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_c9_low_load_overhead.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_scaleout.dir/bench_f1_scaleout.cc.o"
+  "CMakeFiles/bench_f1_scaleout.dir/bench_f1_scaleout.cc.o.d"
+  "bench_f1_scaleout"
+  "bench_f1_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

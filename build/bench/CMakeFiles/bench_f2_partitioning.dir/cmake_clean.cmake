@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_partitioning.dir/bench_f2_partitioning.cc.o"
+  "CMakeFiles/bench_f2_partitioning.dir/bench_f2_partitioning.cc.o.d"
+  "bench_f2_partitioning"
+  "bench_f2_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_hot_standby.dir/bench_f3_hot_standby.cc.o"
+  "CMakeFiles/bench_f3_hot_standby.dir/bench_f3_hot_standby.cc.o.d"
+  "bench_f3_hot_standby"
+  "bench_f3_hot_standby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_hot_standby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

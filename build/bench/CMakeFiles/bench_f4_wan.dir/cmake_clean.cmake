@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f4_wan.dir/bench_f4_wan.cc.o"
+  "CMakeFiles/bench_f4_wan.dir/bench_f4_wan.cc.o.d"
+  "bench_f4_wan"
+  "bench_f4_wan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_wan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

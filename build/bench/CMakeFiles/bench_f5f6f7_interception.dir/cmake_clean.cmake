@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f5f6f7_interception.dir/bench_f5f6f7_interception.cc.o"
+  "CMakeFiles/bench_f5f6f7_interception.dir/bench_f5f6f7_interception.cc.o.d"
+  "bench_f5f6f7_interception"
+  "bench_f5f6f7_interception.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5f6f7_interception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

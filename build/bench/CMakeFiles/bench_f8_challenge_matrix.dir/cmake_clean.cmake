@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f8_challenge_matrix.dir/bench_f8_challenge_matrix.cc.o"
+  "CMakeFiles/bench_f8_challenge_matrix.dir/bench_f8_challenge_matrix.cc.o.d"
+  "bench_f8_challenge_matrix"
+  "bench_f8_challenge_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f8_challenge_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

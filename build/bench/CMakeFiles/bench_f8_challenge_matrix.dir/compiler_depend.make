@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_f8_challenge_matrix.
+# This may be replaced when dependencies are built.

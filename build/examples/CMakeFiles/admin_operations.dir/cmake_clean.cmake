@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admin_operations.dir/admin_operations.cpp.o"
+  "CMakeFiles/admin_operations.dir/admin_operations.cpp.o.d"
+  "admin_operations"
+  "admin_operations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admin_operations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consistency_tour.dir/consistency_tour.cpp.o"
+  "CMakeFiles/consistency_tour.dir/consistency_tour.cpp.o.d"
+  "consistency_tour"
+  "consistency_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consistency_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ticket_broker.dir/ticket_broker.cpp.o"
+  "CMakeFiles/ticket_broker.dir/ticket_broker.cpp.o.d"
+  "ticket_broker"
+  "ticket_broker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ticket_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

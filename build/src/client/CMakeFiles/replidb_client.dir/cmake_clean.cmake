@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replidb_client.dir/connection_pool.cc.o"
+  "CMakeFiles/replidb_client.dir/connection_pool.cc.o.d"
+  "CMakeFiles/replidb_client.dir/driver.cc.o"
+  "CMakeFiles/replidb_client.dir/driver.cc.o.d"
+  "libreplidb_client.a"
+  "libreplidb_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replidb_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

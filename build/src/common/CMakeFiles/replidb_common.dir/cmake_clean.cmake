@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replidb_common.dir/histogram.cc.o"
+  "CMakeFiles/replidb_common.dir/histogram.cc.o.d"
+  "CMakeFiles/replidb_common.dir/logging.cc.o"
+  "CMakeFiles/replidb_common.dir/logging.cc.o.d"
+  "CMakeFiles/replidb_common.dir/status.cc.o"
+  "CMakeFiles/replidb_common.dir/status.cc.o.d"
+  "libreplidb_common.a"
+  "libreplidb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replidb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

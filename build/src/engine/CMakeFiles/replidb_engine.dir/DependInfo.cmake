@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/rdbms.cc" "src/engine/CMakeFiles/replidb_engine.dir/rdbms.cc.o" "gcc" "src/engine/CMakeFiles/replidb_engine.dir/rdbms.cc.o.d"
+  "/root/repo/src/engine/table.cc" "src/engine/CMakeFiles/replidb_engine.dir/table.cc.o" "gcc" "src/engine/CMakeFiles/replidb_engine.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/replidb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/replidb_sql.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

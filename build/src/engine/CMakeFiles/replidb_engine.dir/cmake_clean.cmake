@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replidb_engine.dir/rdbms.cc.o"
+  "CMakeFiles/replidb_engine.dir/rdbms.cc.o.d"
+  "CMakeFiles/replidb_engine.dir/table.cc.o"
+  "CMakeFiles/replidb_engine.dir/table.cc.o.d"
+  "libreplidb_engine.a"
+  "libreplidb_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replidb_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

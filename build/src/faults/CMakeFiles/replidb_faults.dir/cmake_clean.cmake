@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replidb_faults.dir/fault_injector.cc.o"
+  "CMakeFiles/replidb_faults.dir/fault_injector.cc.o.d"
+  "libreplidb_faults.a"
+  "libreplidb_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replidb_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

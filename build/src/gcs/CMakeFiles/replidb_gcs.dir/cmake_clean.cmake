@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replidb_gcs.dir/group.cc.o"
+  "CMakeFiles/replidb_gcs.dir/group.cc.o.d"
+  "libreplidb_gcs.a"
+  "libreplidb_gcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replidb_gcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/availability.cc" "src/metrics/CMakeFiles/replidb_metrics.dir/availability.cc.o" "gcc" "src/metrics/CMakeFiles/replidb_metrics.dir/availability.cc.o.d"
+  "/root/repo/src/metrics/report.cc" "src/metrics/CMakeFiles/replidb_metrics.dir/report.cc.o" "gcc" "src/metrics/CMakeFiles/replidb_metrics.dir/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/replidb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/replidb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replidb_metrics.dir/availability.cc.o"
+  "CMakeFiles/replidb_metrics.dir/availability.cc.o.d"
+  "CMakeFiles/replidb_metrics.dir/report.cc.o"
+  "CMakeFiles/replidb_metrics.dir/report.cc.o.d"
+  "libreplidb_metrics.a"
+  "libreplidb_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replidb_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replidb_cluster.dir/cluster.cc.o"
+  "CMakeFiles/replidb_cluster.dir/cluster.cc.o.d"
+  "libreplidb_cluster.a"
+  "libreplidb_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replidb_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replidb_middleware.dir/controller.cc.o"
+  "CMakeFiles/replidb_middleware.dir/controller.cc.o.d"
+  "CMakeFiles/replidb_middleware.dir/recovery_log.cc.o"
+  "CMakeFiles/replidb_middleware.dir/recovery_log.cc.o.d"
+  "CMakeFiles/replidb_middleware.dir/replica_node.cc.o"
+  "CMakeFiles/replidb_middleware.dir/replica_node.cc.o.d"
+  "libreplidb_middleware.a"
+  "libreplidb_middleware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replidb_middleware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

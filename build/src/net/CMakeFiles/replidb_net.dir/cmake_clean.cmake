@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replidb_net.dir/failure_detector.cc.o"
+  "CMakeFiles/replidb_net.dir/failure_detector.cc.o.d"
+  "CMakeFiles/replidb_net.dir/network.cc.o"
+  "CMakeFiles/replidb_net.dir/network.cc.o.d"
+  "libreplidb_net.a"
+  "libreplidb_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replidb_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replidb_sim.dir/simulator.cc.o"
+  "CMakeFiles/replidb_sim.dir/simulator.cc.o.d"
+  "libreplidb_sim.a"
+  "libreplidb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replidb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

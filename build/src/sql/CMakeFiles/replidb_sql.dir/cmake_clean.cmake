@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replidb_sql.dir/ast.cc.o"
+  "CMakeFiles/replidb_sql.dir/ast.cc.o.d"
+  "CMakeFiles/replidb_sql.dir/determinism.cc.o"
+  "CMakeFiles/replidb_sql.dir/determinism.cc.o.d"
+  "CMakeFiles/replidb_sql.dir/parser.cc.o"
+  "CMakeFiles/replidb_sql.dir/parser.cc.o.d"
+  "CMakeFiles/replidb_sql.dir/value.cc.o"
+  "CMakeFiles/replidb_sql.dir/value.cc.o.d"
+  "libreplidb_sql.a"
+  "libreplidb_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replidb_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replidb_workload.dir/load_generator.cc.o"
+  "CMakeFiles/replidb_workload.dir/load_generator.cc.o.d"
+  "CMakeFiles/replidb_workload.dir/workloads.cc.o"
+  "CMakeFiles/replidb_workload.dir/workloads.cc.o.d"
+  "libreplidb_workload.a"
+  "libreplidb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replidb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/standby_test.dir/standby_test.cc.o"
+  "CMakeFiles/standby_test.dir/standby_test.cc.o.d"
+  "standby_test"
+  "standby_test.pdb"
+  "standby_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/standby_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
