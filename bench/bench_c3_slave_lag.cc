@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 
@@ -23,6 +24,9 @@ struct LagResult {
 };
 
 LagResult RunOnce(int apply_workers) {
+  // Per-config metrics: each run starts from a clean registry so the
+  // per-stage breakdown below describes exactly this configuration.
+  obs::MetricsRegistry::Global().Reset();
   workload::MicroWorkload::Options wo;
   wo.rows = 2000;
   wo.write_fraction = 1.0;
@@ -81,6 +85,9 @@ void Run() {
                   TablePrinter::Int(static_cast<int64_t>(r.end_lag)),
                   r.drain_seconds < 0 ? "never (>300s)"
                                       : TablePrinter::Num(r.drain_seconds, 1)});
+    PrintStageBreakdown(
+        "per-stage breakdown, apply_workers=" + std::to_string(workers),
+        DefaultStages());
   }
   table.Print("15s of full-write load on a 4-worker master (+10s idle)");
   std::printf(
@@ -94,6 +101,8 @@ void Run() {
 }  // namespace replidb::bench
 
 int main() {
+  replidb::bench::InitTracingFromEnv();
   replidb::bench::Run();
+  replidb::bench::WriteTraceIfEnabled();
   return 0;
 }

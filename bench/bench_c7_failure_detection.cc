@@ -138,9 +138,12 @@ void FalsePositives() {
 }
 
 void MttrImpact() {
-  TablePrinter table({"heartbeat", "failover_outage"});
+  TablePrinter table({"heartbeat", "failover_outage", "suspicions",
+                      "failovers"});
+  auto& registry = obs::MetricsRegistry::Global();
   for (sim::Duration period : {2 * kSecond, 500 * kMillisecond,
                                100 * kMillisecond}) {
+    registry.Reset();
     workload::TicketBrokerWorkload w;
     ClusterOptions opts = BenchDefaults();
     opts.replicas = 2;
@@ -176,7 +179,20 @@ void MttrImpact() {
     arrivals();
     c->sim.ScheduleAt(crash_at, [&] { c->replica(0)->Crash(); });
     c->sim.RunUntil(stop);
-    table.AddRow({Dur(period) + " x3", Dur(max_gap)});
+    uint64_t suspicions = 0, failovers = 0;
+    if (const obs::Counter* ctr =
+            registry.FindCounter("middleware.detector.suspicions_raised")) {
+      suspicions = ctr->value();
+    }
+    if (const obs::Counter* ctr =
+            registry.FindCounter("middleware.controller.failovers")) {
+      failovers = ctr->value();
+    }
+    table.AddRow({Dur(period) + " x3", Dur(max_gap),
+                  TablePrinter::Int(static_cast<int64_t>(suspicions)),
+                  TablePrinter::Int(static_cast<int64_t>(failovers))});
+    PrintStageBreakdown("per-stage breakdown, heartbeat=" + Dur(period),
+                        DefaultStages());
   }
   table.Print("client-visible write outage after a master crash");
 }
@@ -197,6 +213,8 @@ void Run() {
 }  // namespace replidb::bench
 
 int main() {
+  replidb::bench::InitTracingFromEnv();
   replidb::bench::Run();
+  replidb::bench::WriteTraceIfEnabled();
   return 0;
 }

@@ -7,6 +7,7 @@
 // parallel replay (extracting parallelism from the log) is the fix.
 
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 
@@ -18,9 +19,14 @@ struct RecoveryResult {
   double catch_up_seconds = -1;  ///< -1 = did not catch up in the window.
   uint64_t final_lag = 0;
   bool converged = false;
+  uint64_t resyncs_started = 0;
+  uint64_t resyncs_completed = 0;
 };
 
 RecoveryResult RunOnce(int apply_workers, double ongoing_write_tps) {
+  // Clean registry per configuration so the per-stage breakdown and
+  // resync counters describe exactly this run.
+  obs::MetricsRegistry::Global().Reset();
   workload::MicroWorkload::Options wo;
   wo.rows = 3000;
   wo.write_fraction = 1.0;
@@ -73,13 +79,22 @@ RecoveryResult RunOnce(int apply_workers, double ongoing_write_tps) {
   out.final_lag = head > applied ? head - applied : 0;
   c->sim.RunFor(2 * sim::kSecond);
   out.converged = c->Converged();
+  auto& registry = obs::MetricsRegistry::Global();
+  if (const obs::Counter* ctr =
+          registry.FindCounter("middleware.recovery.resyncs_started")) {
+    out.resyncs_started = ctr->value();
+  }
+  if (const obs::Counter* ctr =
+          registry.FindCounter("middleware.recovery.resyncs_completed")) {
+    out.resyncs_completed = ctr->value();
+  }
   return out;
 }
 
 void Run() {
   metrics::Banner("C8 / §4.4.2: recovery-log replay, rejoin under load");
   TablePrinter table({"replay_workers", "ongoing_write_tps", "backlog",
-                      "catch_up_s", "lag_after_60s", "converged"});
+                      "catch_up_s", "lag_after_60s", "converged", "resyncs"});
   for (int workers : {1, 2, 4, 8}) {
     for (double ongoing : {300.0, 900.0}) {
       RecoveryResult r = RunOnce(workers, ongoing);
@@ -89,7 +104,13 @@ void Run() {
            r.catch_up_seconds < 0 ? "never (60s)"
                                   : TablePrinter::Num(r.catch_up_seconds, 1),
            TablePrinter::Int(static_cast<int64_t>(r.final_lag)),
-           r.converged ? "yes" : "no"});
+           r.converged ? "yes" : "no",
+           TablePrinter::Int(static_cast<int64_t>(r.resyncs_completed)) + "/" +
+               TablePrinter::Int(static_cast<int64_t>(r.resyncs_started))});
+      PrintStageBreakdown("per-stage breakdown, replay_workers=" +
+                              std::to_string(workers) + " ongoing_tps=" +
+                              TablePrinter::Num(ongoing, 0),
+                          DefaultStages());
     }
   }
   table.Print("15s outage backlog, then rejoin while writes continue");
@@ -103,6 +124,8 @@ void Run() {
 }  // namespace replidb::bench
 
 int main() {
+  replidb::bench::InitTracingFromEnv();
   replidb::bench::Run();
+  replidb::bench::WriteTraceIfEnabled();
   return 0;
 }

@@ -1,13 +1,17 @@
 #ifndef REPLIDB_BENCH_BENCH_UTIL_H_
 #define REPLIDB_BENCH_BENCH_UTIL_H_
 
+#include <cstdio>
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "metrics/report.h"
 #include "middleware/cluster.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "workload/load_generator.h"
 #include "workload/workloads.h"
 
@@ -112,6 +116,64 @@ inline std::vector<std::string> StatsCells(const RunStats& s) {
           TablePrinter::Num(s.latency_ms.Mean(), 2),
           TablePrinter::Num(s.latency_ms.Percentile(99), 2),
           TablePrinter::Num(100.0 * s.AbortRate(), 2)};
+}
+
+/// \brief Prints a per-stage latency breakdown from the global metrics
+/// registry: one row per named histogram (count/mean/p50/p95/p99/max).
+/// Histograms with no samples are skipped so mode-specific stages don't
+/// clutter unrelated benches.
+inline void PrintStageBreakdown(
+    const std::string& title,
+    const std::vector<std::pair<std::string, std::string>>& stages) {
+  auto& registry = obs::MetricsRegistry::Global();
+  TablePrinter table({"stage", "n", "mean_ms", "p50", "p95", "p99", "max"});
+  bool any = false;
+  for (const auto& [label, metric] : stages) {
+    Histogram h = registry.HistogramCopy(metric);
+    if (h.count() == 0) continue;
+    any = true;
+    table.AddRow({label, TablePrinter::Int(static_cast<int64_t>(h.count())),
+                  TablePrinter::Num(h.Mean(), 3),
+                  TablePrinter::Num(h.Median(), 3),
+                  TablePrinter::Num(h.P95(), 3),
+                  TablePrinter::Num(h.P99(), 3),
+                  TablePrinter::Num(h.Max(), 3)});
+  }
+  if (any) table.Print(title);
+}
+
+/// The replication-stack stages every scenario bench reports.
+inline std::vector<std::pair<std::string, std::string>> DefaultStages() {
+  return {
+      {"mw.process", "middleware.controller.process_ms"},
+      {"exec.queue_wait", "replica.exec.queue_wait_ms"},
+      {"exec.service", "replica.exec.service_ms"},
+      {"apply.queue_wait", "replica.apply.queue_wait_ms"},
+      {"apply.service", "replica.apply.service_ms"},
+      {"apply.commit_wait", "replica.apply.commit_wait_ms"},
+      {"apply.lag", "replica.apply.lag_ms"},
+      {"gcs.order", "gcs.order.latency_ms"},
+      {"mw.txn_total", "middleware.txn.total_ms"},
+      {"client.txn_total", "client.txn.total_ms"},
+  };
+}
+
+/// \brief Enables span tracing when REPLIDB_TRACE=<path> is set. Call once
+/// at the top of main(); pair with WriteTraceIfEnabled() before exit.
+inline void InitTracingFromEnv() { obs::Tracer::InitFromEnv(); }
+
+/// Writes the chrome://tracing JSON to the REPLIDB_TRACE path (if tracing
+/// was enabled) and prints a short text timeline. Load the file in
+/// Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+inline void WriteTraceIfEnabled() {
+  const char* path = obs::Tracer::InitFromEnv();
+  if (path == nullptr || !obs::Tracer::Global().enabled()) return;
+  if (obs::Tracer::Global().WriteChromeTrace(path)) {
+    std::printf("\ntrace: %zu events -> %s (open in Perfetto)\n",
+                obs::Tracer::Global().event_count(), path);
+  } else {
+    std::printf("\ntrace: FAILED to write %s\n", path);
+  }
 }
 
 }  // namespace replidb::bench

@@ -1,6 +1,10 @@
 #include "client/driver.h"
 
+#include <string>
 #include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace replidb::client {
 
@@ -9,6 +13,34 @@ using middleware::ClientTxnReply;
 using middleware::kMsgClientTxn;
 using middleware::kMsgClientTxnReply;
 using middleware::TxnResult;
+
+namespace {
+
+/// Registry handles resolved once; updates after that are atomic bumps.
+struct DriverMetrics {
+  obs::Counter* submitted;
+  obs::Counter* completed;
+  obs::Counter* retries;
+  obs::Counter* gave_up;
+  obs::HistogramMetric* txn_ms;
+
+  static DriverMetrics& Get() {
+    static DriverMetrics m;
+    return m;
+  }
+
+ private:
+  DriverMetrics() {
+    auto& r = obs::MetricsRegistry::Global();
+    submitted = r.GetCounter("client.driver.submitted");
+    completed = r.GetCounter("client.driver.completed");
+    retries = r.GetCounter("client.driver.retries");
+    gave_up = r.GetCounter("client.driver.gave_up");
+    txn_ms = r.GetHistogram("client.txn.total_ms");
+  }
+};
+
+}  // namespace
 
 Driver::Driver(sim::Simulator* sim, net::Network* network, net::NodeId node,
                std::vector<net::NodeId> controllers, DriverOptions options,
@@ -22,6 +54,10 @@ Driver::Driver(sim::Simulator* sim, net::Network* network, net::NodeId node,
 
 void Driver::Submit(middleware::TxnRequest request, Callback cb) {
   ++submitted_;
+  DriverMetrics::Get().submitted->Increment();
+  if (obs::TracingEnabled() && request.trace.id == 0) {
+    request.trace.id = obs::NextTraceId();
+  }
   uint64_t req_id = next_req_++;
   Outstanding out;
   out.request = std::move(request);
@@ -90,6 +126,15 @@ void Driver::HandleReply(const net::Message& m) {
   if (r.status.ok()) preferred_controller_ = out.controller_index;
   ++completed_;
   if (!r.status.ok()) ++gave_up_;
+  DriverMetrics::Get().completed->Increment();
+  if (!r.status.ok()) DriverMetrics::Get().gave_up->Increment();
+  DriverMetrics::Get().txn_ms->Observe(sim::ToMillis(final_result.latency));
+  if (obs::TracingEnabled()) {
+    obs::Tracer::Global().Span(
+        "client." + std::to_string(id()),
+        out.request.read_only ? "txn.read" : "txn.write", out.started,
+        sim_->Now(), out.request.trace.id);
+  }
   Callback cb = std::move(out.cb);
   outstanding_.erase(it);
   cb(final_result);
@@ -109,6 +154,13 @@ void Driver::OnTimeout(uint64_t req_id) {
   result.retries = out.attempts - 1;
   ++completed_;
   ++gave_up_;
+  DriverMetrics::Get().completed->Increment();
+  DriverMetrics::Get().gave_up->Increment();
+  if (obs::TracingEnabled()) {
+    obs::Tracer::Global().Span("client." + std::to_string(id()),
+                               "txn.gave_up", out.started, sim_->Now(),
+                               out.request.trace.id);
+  }
   Callback cb = std::move(out.cb);
   outstanding_.erase(it);
   cb(result);
@@ -116,6 +168,7 @@ void Driver::OnTimeout(uint64_t req_id) {
 
 void Driver::Retry(uint64_t req_id, Outstanding* out) {
   (void)out;
+  DriverMetrics::Get().retries->Increment();
   sim_->Schedule(options_.retry_backoff, [this, req_id] { Send(req_id); });
 }
 

@@ -1,9 +1,18 @@
 #include "common/logging.h"
 
+#include <atomic>
+#include <mutex>
+
 namespace replidb {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// Virtual-clock registration. Guarded by a mutex: registration happens at
+// simulator construction, reads happen per emitted log line.
+std::mutex g_clock_mu;
+const void* g_clock_owner = nullptr;
+std::function<int64_t()> g_clock;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -22,12 +31,44 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void SetLogClock(const void* owner, std::function<int64_t()> now_us) {
+  std::lock_guard<std::mutex> lock(g_clock_mu);
+  g_clock_owner = owner;
+  g_clock = std::move(now_us);
+}
+
+void ClearLogClock(const void* owner) {
+  std::lock_guard<std::mutex> lock(g_clock_mu);
+  if (g_clock_owner != owner) return;
+  g_clock_owner = nullptr;
+  g_clock = nullptr;
+}
 
 void LogLine(LogLevel level, const std::string& msg) {
-  if (level < g_level) return;
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), msg.c_str());
+  if (level < GetLogLevel()) return;
+  // Format the entire line up front and emit it with one fwrite: partial
+  // lines from concurrent callers can then never interleave.
+  std::string line;
+  line.reserve(msg.size() + 32);
+  line += '[';
+  line += LevelName(level);
+  line += ']';
+  {
+    std::lock_guard<std::mutex> lock(g_clock_mu);
+    if (g_clock) {
+      char ts[32];
+      std::snprintf(ts, sizeof(ts), "[t=%.3fs]",
+                    static_cast<double>(g_clock()) / 1e6);
+      line += ts;
+    }
+  }
+  line += ' ';
+  line += msg;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace replidb

@@ -1,8 +1,10 @@
 #ifndef REPLIDB_COMMON_LOGGING_H_
 #define REPLIDB_COMMON_LOGGING_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -16,7 +18,18 @@ void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
 /// Emits a line to stderr if `level` is at or above the global threshold.
+/// The whole line is formatted first and written with a single fwrite, so
+/// concurrent callers never interleave mid-line. When a simulator clock is
+/// registered (see SetLogClock), the line is prefixed with virtual time so
+/// log output correlates with trace spans.
 void LogLine(LogLevel level, const std::string& msg);
+
+/// Registers a virtual-time source (microseconds) used to prefix log
+/// lines. `owner` identifies the registrant: a later ClearLogClock from a
+/// different owner is a no-op, so nested/sequential simulators behave
+/// (the live simulator registers itself on construction).
+void SetLogClock(const void* owner, std::function<int64_t()> now_us);
+void ClearLogClock(const void* owner);
 
 namespace log_internal {
 struct Emitter {

@@ -5,9 +5,35 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 #include "sql/parser.h"
 
 namespace replidb::engine {
+
+namespace {
+
+/// Engine-level registry handles, resolved once, aggregated across every
+/// Rdbms instance (per-replica detail lives in the middleware layer).
+struct EngineMetrics {
+  obs::Counter* statements;
+  obs::Counter* commits;
+  obs::Counter* aborts;
+
+  static EngineMetrics& Get() {
+    static EngineMetrics m;
+    return m;
+  }
+
+ private:
+  EngineMetrics() {
+    auto& r = obs::MetricsRegistry::Global();
+    statements = r.GetCounter("engine.txn.statements");
+    commits = r.GetCounter("engine.txn.commits");
+    aborts = r.GetCounter("engine.txn.aborts");
+  }
+};
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Writeset / BinlogEntry helpers
@@ -1016,6 +1042,7 @@ ExecResult Rdbms::ExecuteStmt(SessionId session, const sql::Statement& stmt) {
     return r;
   }
   ++stats_.statements_executed;
+  EngineMetrics::Get().statements->Increment();
 
   // Transaction control.
   switch (stmt.type()) {
@@ -1161,6 +1188,7 @@ Status Rdbms::CommitTxn(Session* session) {
     binlog_.push_back(std::move(entry));
   }
   ++stats_.transactions_committed;
+  EngineMetrics::Get().commits->Increment();
   session->txn.reset();
   return Status::OK();
 }
@@ -1180,6 +1208,7 @@ void Rdbms::RollbackTxn(Session* session) {
   }
   ReleaseLocks(txn.id);
   ++stats_.transactions_aborted;
+  EngineMetrics::Get().aborts->Increment();
   session->txn.reset();
 }
 

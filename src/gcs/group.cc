@@ -1,11 +1,45 @@
 #include "gcs/group.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace replidb::gcs {
 
 namespace {
+
+/// Group-communication registry handles, resolved once (aggregated across
+/// members; the sequencer backlog gauge tracks whoever currently holds the
+/// sequencer role).
+struct GcsMetrics {
+  obs::Counter* multicasts;
+  obs::Counter* ordered;
+  obs::Counter* delivered;
+  obs::Counter* view_changes;
+  obs::Counter* nacks;
+  obs::Gauge* sequencer_backlog_us;
+  obs::HistogramMetric* order_latency_ms;
+
+  static GcsMetrics& Get() {
+    static GcsMetrics m;
+    return m;
+  }
+
+ private:
+  GcsMetrics() {
+    auto& r = obs::MetricsRegistry::Global();
+    multicasts = r.GetCounter("gcs.member.multicasts");
+    ordered = r.GetCounter("gcs.sequencer.ordered");
+    delivered = r.GetCounter("gcs.member.delivered");
+    view_changes = r.GetCounter("gcs.member.view_changes");
+    nacks = r.GetCounter("gcs.member.nacks");
+    sequencer_backlog_us = r.GetGauge("gcs.sequencer.backlog_us");
+    order_latency_ms = r.GetHistogram("gcs.order.latency_ms");
+  }
+};
 
 struct FwdBody {
   uint64_t msg_id;
@@ -82,6 +116,12 @@ void GroupMember::RecomputeView() {
   bool sequencer_changed = next.sequencer != view_.sequencer;
   next.view_id = view_.view_id + 1;
   view_ = next;
+  GcsMetrics::Get().view_changes->Increment();
+  if (obs::TracingEnabled()) {
+    obs::Tracer::Global().Instant("gcs." + std::to_string(id()),
+                                  "view." + std::to_string(view_.view_id),
+                                  sim_->Now());
+  }
 
   if (sequencer_changed) {
     // Receivers drop buffered out-of-order messages: the old sequencer's
@@ -111,11 +151,13 @@ void GroupMember::RecomputeView() {
 
 void GroupMember::Multicast(std::any payload, int64_t size_bytes) {
   ++multicasts_sent_;
+  GcsMetrics::Get().multicasts->Increment();
   PendingOwn pending;
   pending.msg_id = next_msg_id_++;
   pending.payload = payload;
   pending.size_bytes = size_bytes;
   pending.last_sent = sim_->Now();
+  pending.submitted = sim_->Now();
   uint64_t msg_id = pending.msg_id;
   pending_own_.emplace(msg_id, std::move(pending));
   if (view_.sequencer >= 0) {
@@ -144,6 +186,7 @@ void GroupMember::HandleForward(const net::Message& m) {
   }
   seq = next_seq_to_assign_++;
   assigned_[key] = seq;
+  GcsMetrics::Get().ordered->Increment();
   OrderedMsg om{m.from, body.msg_id, body.payload, body.size_bytes};
   history_[seq] = om;
 
@@ -154,6 +197,9 @@ void GroupMember::HandleForward(const net::Message& m) {
       options_.per_member_send *
           static_cast<sim::Duration>(view_.members.size());
   sequencer_busy_until_ = std::max(sequencer_busy_until_, sim_->Now()) + cost;
+  GcsMetrics::Get().sequencer_backlog_us->Set(
+      sequencer_busy_until_ > sim_->Now() ? sequencer_busy_until_ - sim_->Now()
+                                          : 0);
   std::vector<net::NodeId> targets = all_members_;
   sim_->ScheduleAt(sequencer_busy_until_, [this, seq, om, targets] {
     for (net::NodeId member : targets) {
@@ -182,8 +228,16 @@ void GroupMember::MaybeDeliver() {
     OrderedMsg msg = std::move(it->second);
     out_of_order_.erase(it);
     history_[next_expected_] = msg;
-    if (msg.origin == id()) pending_own_.erase(msg.msg_id);
+    if (msg.origin == id()) {
+      auto own = pending_own_.find(msg.msg_id);
+      if (own != pending_own_.end()) {
+        GcsMetrics::Get().order_latency_ms->Observe(
+            sim::ToMillis(sim_->Now() - own->second.submitted));
+        pending_own_.erase(own);
+      }
+    }
     ++delivered_count_;
+    GcsMetrics::Get().delivered->Increment();
     uint64_t seq = next_expected_++;
     if (deliver_) deliver_(msg.origin, seq, msg.payload);
   }
@@ -218,6 +272,7 @@ void GroupMember::Tick() {
         out_of_order_.begin()->first > next_expected_ &&
         sim_->Now() - last_gap_nack_ >= options_.nack_interval) {
       last_gap_nack_ = sim_->Now();
+      GcsMetrics::Get().nacks->Increment();
       dispatcher_->Send(view_.sequencer, kNack,
                         NackBody{next_expected_,
                                  out_of_order_.begin()->first - 1},

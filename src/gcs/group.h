@@ -92,6 +92,8 @@ class GroupMember {
     std::any payload;
     int64_t size_bytes;
     sim::TimePoint last_sent;
+    /// When Multicast() was called (ordering-latency measurement).
+    sim::TimePoint submitted = 0;
   };
   struct OrderedMsg {
     net::NodeId origin;

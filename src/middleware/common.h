@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "engine/types.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 
 namespace replidb::middleware {
@@ -28,6 +29,9 @@ struct TxnRequest {
   /// generators set it from the partition key; drivers pick the partition
   /// controller with it.
   int64_t partition_hint = 0;
+  /// Observability identity: assigned by the client driver when tracing is
+  /// enabled and carried through every layer the transaction touches.
+  obs::TraceContext trace;
 };
 
 /// \brief Outcome returned to the client driver.
@@ -99,6 +103,9 @@ struct ReplicationEntry {
   /// Statement texts (for statement-mode apply and for the recovery log).
   std::vector<std::string> statements;
   bool use_statements = false;  ///< Apply by re-execution vs row images.
+  /// Virtual time the entry was committed/ordered at its origin. Replica
+  /// apply lag in virtual milliseconds is measured against this.
+  int64_t origin_commit_us = 0;
 
   int64_t SizeBytes() const {
     int64_t bytes = 64 + writeset.SizeBytes();

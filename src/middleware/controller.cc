@@ -1,12 +1,89 @@
 #include "middleware/controller.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sql/parser.h"
 
 namespace replidb::middleware {
+
+namespace {
+
+/// Controller-side registry handles, resolved once. Aggregated across
+/// controller instances; per-replica lag gauges carry the node id.
+struct ControllerMetrics {
+  obs::Counter* txns;
+  obs::Counter* reads;
+  obs::Counter* writes;
+  obs::Counter* commits;
+  obs::Counter* aborts_cert;
+  obs::Counter* aborts_cert_incomplete;
+  obs::Counter* aborts_exec;
+  obs::Counter* certified;
+  obs::Counter* rejected_nondet;
+  obs::Counter* unsafe_broadcast;
+  obs::Counter* timeouts;
+  obs::Counter* unavailable;
+  obs::Counter* failovers;
+  obs::Counter* lost_txns;
+  obs::Counter* suspicions;
+  obs::Counter* suspicion_clears;
+  obs::Counter* resyncs_started;
+  obs::Counter* resyncs_completed;
+  obs::Gauge* pending_txns;
+  obs::HistogramMetric* process_ms;
+  obs::HistogramMetric* total_ms;
+
+  static ControllerMetrics& Get() {
+    static ControllerMetrics m;
+    return m;
+  }
+
+ private:
+  ControllerMetrics() {
+    auto& r = obs::MetricsRegistry::Global();
+    txns = r.GetCounter("middleware.controller.txns_total");
+    reads = r.GetCounter("middleware.controller.reads_total");
+    writes = r.GetCounter("middleware.controller.writes_total");
+    commits = r.GetCounter("middleware.controller.commits");
+    aborts_cert = r.GetCounter("middleware.certifier.abort.conflict");
+    aborts_cert_incomplete =
+        r.GetCounter("middleware.certifier.abort.incomplete_writeset");
+    aborts_exec = r.GetCounter("middleware.controller.abort.execution");
+    certified = r.GetCounter("middleware.certifier.certified");
+    rejected_nondet =
+        r.GetCounter("middleware.controller.abort.nondeterministic");
+    unsafe_broadcast = r.GetCounter("middleware.controller.unsafe_broadcasts");
+    timeouts = r.GetCounter("middleware.controller.timeouts");
+    unavailable = r.GetCounter("middleware.controller.unavailable");
+    failovers = r.GetCounter("middleware.controller.failovers");
+    lost_txns = r.GetCounter("middleware.controller.lost_transactions");
+    suspicions = r.GetCounter("middleware.detector.suspicions_raised");
+    suspicion_clears = r.GetCounter("middleware.detector.suspicions_cleared");
+    resyncs_started = r.GetCounter("middleware.recovery.resyncs_started");
+    resyncs_completed = r.GetCounter("middleware.recovery.resyncs_completed");
+    pending_txns = r.GetGauge("middleware.controller.pending_txns");
+    process_ms = r.GetHistogram("middleware.controller.process_ms");
+    total_ms = r.GetHistogram("middleware.txn.total_ms");
+  }
+};
+
+/// Per-replica lag gauges (txns behind head / recovery replay backlog).
+obs::Gauge* ReplicaLagGauge(net::NodeId replica) {
+  return obs::MetricsRegistry::Global().GetGauge(
+      "middleware.replica." + std::to_string(replica) + ".lag_txns");
+}
+
+obs::Gauge* ReplayBehindGauge(net::NodeId replica) {
+  return obs::MetricsRegistry::Global().GetGauge(
+      "middleware.recovery." + std::to_string(replica) + ".replay_behind");
+}
+
+}  // namespace
 
 const char* LoadBalancePolicyName(LoadBalancePolicy policy) {
   switch (policy) {
@@ -32,6 +109,7 @@ Controller::Controller(sim::Simulator* sim, net::Network* network,
   for (ReplicaNode* r : replicas) {
     ReplicaInfo info;
     info.node = r;
+    info.lag_gauge = ReplicaLagGauge(r->id());
     replicas_[r->id()] = info;
   }
 
@@ -239,6 +317,7 @@ void Controller::HandleClientTxn(const net::Message& m) {
   p.req_id = req;
   p.client = m.from;
   p.client_req_id = msg.req_id;
+  p.arrived = sim_->Now();
   p.request = msg.request;
 
   // Classify: trust read_only only if no statement parses as a write.
@@ -254,10 +333,13 @@ void Controller::HandleClientTxn(const net::Message& m) {
   }
 
   ++stats_.txns_total;
+  ControllerMetrics::Get().txns->Increment();
   if (p.is_write) {
     ++stats_.writes_total;
+    ControllerMetrics::Get().writes->Increment();
   } else {
     ++stats_.reads_total;
+    ControllerMetrics::Get().reads->Increment();
   }
 
   switch (options_.consistency) {
@@ -277,6 +359,8 @@ void Controller::HandleClientTxn(const net::Message& m) {
   auto [it, inserted] = pending_.emplace(req, std::move(p));
   (void)inserted;
   ArmTimeout(&it->second);
+  ControllerMetrics::Get().pending_txns->Set(
+      static_cast<int64_t>(pending_.size()));
 
   // Middleware processing cost (parse + route) before dispatch.
   sim::TimePoint ready = ChargeProcessing(msg.request.statements.size());
@@ -286,6 +370,14 @@ void Controller::HandleClientTxn(const net::Message& m) {
     auto pit = pending_.find(req);
     if (pit == pending_.end()) return;
     Pending* p = &pit->second;
+    p->routed = sim_->Now();
+    ControllerMetrics::Get().process_ms->Observe(
+        sim::ToMillis(p->routed - p->arrived));
+    if (obs::TracingEnabled()) {
+      obs::Tracer::Global().Span("controller." + std::to_string(id()),
+                                 "mw.process", p->arrived, p->routed,
+                                 p->request.trace.id);
+    }
     if (p->is_write) {
       RouteWrite(p);
     } else {
@@ -422,6 +514,7 @@ void Controller::RouteRead(Pending* p) {
   net::NodeId target = PickReadReplica(*p);
   if (target < 0) {
     ++stats_.unavailable;
+    ControllerMetrics::Get().unavailable->Increment();
     TxnResult result;
     result.status = Status::Unavailable("no online replica for reads");
     FinishRequest(p, std::move(result));
@@ -435,6 +528,7 @@ void Controller::RouteRead(Pending* p) {
   msg.read_only = true;
   msg.min_version = p->min_version;
   msg.tables = p->tables;
+  msg.trace_id = p->request.trace.id;
   dispatcher_->Send(target, kMsgExec, msg, 256);
 }
 
@@ -444,6 +538,7 @@ void Controller::RouteRead(Pending* p) {
 void Controller::RouteWrite(Pending* p) {
   if (options_.require_majority_for_writes && !HaveWriteQuorum()) {
     ++stats_.unavailable;
+    ControllerMetrics::Get().unavailable->Increment();
     TxnResult result;
     result.status = Status::NoQuorum(
         "fewer than a majority of replicas reachable; writes refused");
@@ -468,6 +563,7 @@ void Controller::RouteWriteMasterSlave(Pending* p) {
   ReplicaInfo* m = Info(master_);
   if (master_ < 0 || m == nullptr || m->state != ReplicaState::kOnline) {
     ++stats_.unavailable;
+    ControllerMetrics::Get().unavailable->Increment();
     TxnResult result;
     result.status = Status::Unavailable("no master available");
     FinishRequest(p, std::move(result));
@@ -480,6 +576,7 @@ void Controller::RouteWriteMasterSlave(Pending* p) {
   msg.statements = p->request.statements;
   msg.read_only = false;
   msg.tables = p->tables;
+  msg.trace_id = p->request.trace.id;
   if (options_.mode == ReplicationMode::kMasterSlaveSync) {
     // Semi-sync degradation: only count slaves that can actually ack.
     // With no live slave, commit 1-safe rather than block forever (the
@@ -519,11 +616,13 @@ Status Controller::PrepareStatements(Pending* p) {
   if (unsafe) {
     if (options_.nondeterminism == NonDeterminismPolicy::kRefuse) {
       ++stats_.rejected_nondeterministic;
+      ControllerMetrics::Get().rejected_nondet->Increment();
       std::string why = "non-deterministic statement refused";
       if (!reasons.empty()) why += ": " + reasons.front();
       return Status::InvalidArgument(why);
     }
     ++stats_.unsafe_broadcasts;  // Divergence risk accepted.
+    ControllerMetrics::Get().unsafe_broadcast->Increment();
   }
   return Status::OK();
 }
@@ -546,6 +645,7 @@ void Controller::RouteWriteStatement(Pending* p) {
   }
   if (online == 0) {
     ++stats_.unavailable;
+    ControllerMetrics::Get().unavailable->Increment();
     TxnResult result;
     result.status = Status::Unavailable("no online replica for writes");
     FinishRequest(p, std::move(result));
@@ -557,6 +657,7 @@ void Controller::RouteWriteStatement(Pending* p) {
   entry.version = p->order;
   entry.statements = p->statements;
   entry.use_statements = true;
+  entry.origin_commit_us = sim_->Now();
   recovery_log_.Append(entry);
   MirrorAppend(entry);
   p->mirror_seq_after = mirror_seq_;
@@ -570,6 +671,7 @@ void Controller::RouteWriteStatement(Pending* p) {
     msg.read_only = false;
     msg.order = p->order;
     msg.tables = p->tables;
+    msg.trace_id = p->request.trace.id;
     dispatcher_->Send(t, kMsgExec, msg, 512);
   }
 }
@@ -578,6 +680,7 @@ void Controller::RouteWriteCertification(Pending* p) {
   net::NodeId target = PickReadReplica(*p);  // Balance writes too.
   if (target < 0) {
     ++stats_.unavailable;
+    ControllerMetrics::Get().unavailable->Increment();
     TxnResult result;
     result.status = Status::Unavailable("no online replica for writes");
     FinishRequest(p, std::move(result));
@@ -592,6 +695,7 @@ void Controller::RouteWriteCertification(Pending* p) {
   msg.read_only = false;
   msg.hold_commit = true;
   msg.tables = p->tables;
+  msg.trace_id = p->request.trace.id;
   dispatcher_->Send(target, kMsgExec, msg, 512);
 }
 
@@ -636,6 +740,7 @@ void Controller::HandleExecReply(const net::Message& m) {
         entry.statements = reply.statements;
         entry.use_statements =
             reply.writeset.empty() || reply.writeset.incomplete;
+        entry.origin_commit_us = sim_->Now();
         recovery_log_.Append(entry);
         p->mirror_seq_after = 0;
         MirrorAppend(entry);
@@ -643,6 +748,7 @@ void Controller::HandleExecReply(const net::Message& m) {
         result.version = reply.committed_version;
       } else if (!reply.status.ok()) {
         ++stats_.aborts_execution;
+        ControllerMetrics::Get().aborts_exec->Increment();
       }
       FinishRequest(p, std::move(result));
       return;
@@ -657,6 +763,7 @@ void Controller::HandleExecReply(const net::Message& m) {
         result.version = p->order;
       } else {
         ++stats_.aborts_execution;
+        ControllerMetrics::Get().aborts_exec->Increment();
       }
       FinishRequest(p, std::move(result));
       return;
@@ -664,6 +771,7 @@ void Controller::HandleExecReply(const net::Message& m) {
     case ReplicationMode::kMultiMasterCertification: {
       if (!reply.status.ok()) {
         ++stats_.aborts_execution;
+        ControllerMetrics::Get().aborts_exec->Increment();
         TxnResult result;
         result.status = reply.status;
         FinishRequest(p, std::move(result));
@@ -679,6 +787,7 @@ void Controller::HandleExecReply(const net::Message& m) {
       p->begin_version = reply.replica_applied_version;
       std::vector<std::string> keys = p->writeset.ConflictKeys();
       if (p->writeset.incomplete) {
+        ControllerMetrics::Get().aborts_cert_incomplete->Increment();
         FinishTxnMsg abort_msg;
         abort_msg.req_id = p->req_id;
         abort_msg.commit = false;
@@ -691,6 +800,7 @@ void Controller::HandleExecReply(const net::Message& m) {
       }
       if (!Certify(p->begin_version, keys)) {
         ++stats_.aborts_certification;
+        ControllerMetrics::Get().aborts_cert->Increment();
         FinishTxnMsg abort_msg;
         abort_msg.req_id = p->req_id;
         abort_msg.commit = false;
@@ -704,11 +814,13 @@ void Controller::HandleExecReply(const net::Message& m) {
       // Certified: assign the version, distribute, and commit at origin.
       GlobalVersion v = ++global_version_;
       RecordCertified(v, keys);
+      ControllerMetrics::Get().certified->Increment();
       ReplicationEntry entry;
       entry.version = v;
       entry.writeset = p->writeset;
       entry.statements = p->statements;
       entry.use_statements = false;
+      entry.origin_commit_us = sim_->Now();
       recovery_log_.Append(entry);
       MirrorAppend(entry);
       p->mirror_seq_after = mirror_seq_;
@@ -764,7 +876,18 @@ void Controller::HandleProgress(const net::Message& m) {
   ReplicaInfo* info = Info(m.from);
   if (info == nullptr) return;
   info->applied = std::max(info->applied, body.applied_version);
-  if (info->state == ReplicaState::kResyncing) CheckResyncDone(m.from);
+  if (info->lag_gauge != nullptr) {
+    info->lag_gauge->Set(static_cast<int64_t>(
+        global_version_ > info->applied ? global_version_ - info->applied
+                                        : 0));
+  }
+  if (info->state == ReplicaState::kResyncing) {
+    ReplayBehindGauge(m.from)->Set(static_cast<int64_t>(
+        info->resync_target > info->applied
+            ? info->resync_target - info->applied
+            : 0));
+    CheckResyncDone(m.from);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -772,7 +895,18 @@ void Controller::HandleProgress(const net::Message& m) {
 
 void Controller::FinishRequest(Pending* p, TxnResult result) {
   if (result.status.ok()) {
-    if (p->is_write) ++stats_.commits;
+    if (p->is_write) {
+      ++stats_.commits;
+      ControllerMetrics::Get().commits->Increment();
+    }
+  }
+  ControllerMetrics::Get().total_ms->Observe(
+      sim::ToMillis(sim_->Now() - p->arrived));
+  if (obs::TracingEnabled()) {
+    obs::Tracer::Global().Span(
+        "controller." + std::to_string(id()),
+        result.status.ok() ? "mw.txn" : "mw.txn.failed", p->arrived,
+        sim_->Now(), p->request.trace.id);
   }
   sim_->Cancel(p->timer);
   auto client_key = std::make_pair(p->client, p->client_req_id);
@@ -794,6 +928,8 @@ void Controller::FinishRequest(Pending* p, TxnResult result) {
   net::NodeId client = p->client;
   uint64_t mirror_seq = p->mirror_seq_after;
   pending_.erase(p->req_id);
+  ControllerMetrics::Get().pending_txns->Set(
+      static_cast<int64_t>(pending_.size()));
   auto send = [this, client, reply]() {
     dispatcher_->Send(client, kMsgClientTxnReply, reply, 256);
   };
@@ -818,6 +954,7 @@ void Controller::OnTimeout(uint64_t req_id) {
   if (it == pending_.end()) return;
   Pending* p = &it->second;
   ++stats_.timeouts;
+  ControllerMetrics::Get().timeouts->Increment();
   if (p->target >= 0) {
     if (ReplicaInfo* info = Info(p->target)) {
       if (info->outstanding > 0) info->outstanding--;
@@ -857,6 +994,12 @@ void Controller::OnReplicaSuspicion(net::NodeId replica, bool suspect) {
   if (suspect) {
     if (info->state == ReplicaState::kDown) return;
     REPLIDB_LOG(Info) << "controller: replica " << replica << " suspected";
+    ControllerMetrics::Get().suspicions->Increment();
+    if (obs::TracingEnabled()) {
+      obs::Tracer::Global().Instant("controller." + std::to_string(id()),
+                                    "suspect." + std::to_string(replica),
+                                    sim_->Now());
+    }
     info->state = ReplicaState::kDown;
     info->outstanding = 0;
     recovery_log_.SetCheckpoint(replica, info->applied);
@@ -864,6 +1007,12 @@ void Controller::OnReplicaSuspicion(net::NodeId replica, bool suspect) {
   } else {
     if (info->state != ReplicaState::kDown) return;
     REPLIDB_LOG(Info) << "controller: replica " << replica << " back";
+    ControllerMetrics::Get().suspicion_clears->Increment();
+    if (obs::TracingEnabled()) {
+      obs::Tracer::Global().Instant("controller." + std::to_string(id()),
+                                    "unsuspect." + std::to_string(replica),
+                                    sim_->Now());
+    }
     StartResync(replica);
   }
 }
@@ -887,6 +1036,12 @@ void Controller::PromoteNewMaster() {
     return;
   }
   ++stats_.failovers;
+  ControllerMetrics::Get().failovers->Increment();
+  if (obs::TracingEnabled()) {
+    obs::Tracer::Global().Instant("controller." + std::to_string(id()),
+                                  "failover." + std::to_string(best),
+                                  sim_->Now());
+  }
   // 1-safe loss accounting: acked versions beyond the most caught-up
   // survivor are gone (§2.2). The failed master still holds them on its
   // disk, so if it ever rejoins it must be re-cloned, not replayed.
@@ -897,6 +1052,7 @@ void Controller::PromoteNewMaster() {
   GlobalVersion survivor = Info(best)->applied;
   if (master_slave && global_version_ > survivor) {
     stats_.lost_transactions += global_version_ - survivor;
+    ControllerMetrics::Get().lost_txns->Increment(global_version_ - survivor);
     global_version_ = survivor;
     if (old_master >= 0) divergence_markers_[old_master] = survivor;
   }
@@ -949,6 +1105,9 @@ void Controller::StartResync(net::NodeId replica) {
   }
   info->applied = from;
   info->resync_target = global_version_;
+  ControllerMetrics::Get().resyncs_started->Increment();
+  ReplayBehindGauge(replica)->Set(static_cast<int64_t>(
+      info->resync_target > from ? info->resync_target - from : 0));
   std::vector<ReplicationEntry> entries =
       recovery_log_.Range(from, global_version_);
   for (ReplicationEntry& entry : entries) {
@@ -965,6 +1124,13 @@ void Controller::CheckResyncDone(net::NodeId replica) {
   if (info->applied < info->resync_target) return;
   info->state = ReplicaState::kOnline;
   ++stats_.resyncs_completed;
+  ControllerMetrics::Get().resyncs_completed->Increment();
+  ReplayBehindGauge(replica)->Set(0);
+  if (obs::TracingEnabled()) {
+    obs::Tracer::Global().Instant("controller." + std::to_string(id()),
+                                  "resynced." + std::to_string(replica),
+                                  sim_->Now());
+  }
   REPLIDB_LOG(Info) << "controller: replica " << replica << " resynced to v"
                     << info->applied;
   if (master_ < 0) PromoteNewMaster();

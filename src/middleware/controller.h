@@ -10,6 +10,7 @@
 
 #include "common/rng.h"
 #include "middleware/messages.h"
+#include "obs/metrics.h"
 #include "middleware/recovery_log.h"
 #include "middleware/replica_node.h"
 #include "net/dispatcher.h"
@@ -209,6 +210,7 @@ class Controller {
     GlobalVersion resync_target = 0;
     GlobalVersion swept_at = 0;  ///< Anti-entropy: applied at last sweep.
     std::vector<std::string> affinity_tables;  ///< Memory-aware LB.
+    obs::Gauge* lag_gauge = nullptr;  ///< middleware.replica.N.lag_txns.
   };
 
   /// One client transaction in flight.
@@ -216,6 +218,8 @@ class Controller {
     uint64_t req_id = 0;
     net::NodeId client = -1;
     uint64_t client_req_id = 0;
+    sim::TimePoint arrived = 0;  ///< When the controller received it.
+    sim::TimePoint routed = 0;   ///< When parse/route finished.
     TxnRequest request;
     GlobalVersion min_version = 0;
     bool is_write = false;

@@ -49,6 +49,8 @@ struct ExecTxnMsg {
   GlobalVersion min_version = 0;
   /// Tables this transaction touches (memory-aware cache model).
   std::vector<std::string> tables;
+  /// Trace identity of the originating client transaction (0 = untraced).
+  uint64_t trace_id = 0;
 };
 
 /// Client driver -> controller: run a transaction.

@@ -2,11 +2,49 @@
 
 #include <algorithm>
 #include <set>
+#include <string>
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace replidb::middleware {
+
+namespace {
+
+/// Replica-side registry handles, resolved once. Histograms aggregate
+/// across replicas (per-node state lives in the `replica.<id>.*` gauges).
+struct ReplicaMetrics {
+  obs::Counter* apply_entries;
+  obs::Counter* apply_errors;
+  obs::HistogramMetric* apply_queue_wait_ms;
+  obs::HistogramMetric* apply_service_ms;
+  obs::HistogramMetric* apply_commit_wait_ms;
+  obs::HistogramMetric* apply_lag_ms;
+  obs::HistogramMetric* exec_queue_wait_ms;
+  obs::HistogramMetric* exec_service_ms;
+
+  static ReplicaMetrics& Get() {
+    static ReplicaMetrics m;
+    return m;
+  }
+
+ private:
+  ReplicaMetrics() {
+    auto& r = obs::MetricsRegistry::Global();
+    apply_entries = r.GetCounter("replica.apply.entries");
+    apply_errors = r.GetCounter("replica.apply.errors");
+    apply_queue_wait_ms = r.GetHistogram("replica.apply.queue_wait_ms");
+    apply_service_ms = r.GetHistogram("replica.apply.service_ms");
+    apply_commit_wait_ms = r.GetHistogram("replica.apply.commit_wait_ms");
+    apply_lag_ms = r.GetHistogram("replica.apply.lag_ms");
+    exec_queue_wait_ms = r.GetHistogram("replica.exec.queue_wait_ms");
+    exec_service_ms = r.GetHistogram("replica.exec.service_ms");
+  }
+};
+
+}  // namespace
 
 const char* ReplicationModeName(ReplicationMode mode) {
   switch (mode) {
@@ -50,6 +88,13 @@ ReplicaNode::ReplicaNode(sim::Simulator* sim, net::Network* network,
 
   workers_free_.assign(static_cast<size_t>(options_.capacity), 0);
   apply_workers_free_.assign(static_cast<size_t>(options_.apply_workers), 0);
+
+  track_ = "replica." + std::to_string(node);
+  auto& registry = obs::MetricsRegistry::Global();
+  backlog_gauge_ = registry.GetGauge("replica." + std::to_string(node) +
+                                     ".apply_backlog");
+  lag_ms_gauge_ =
+      registry.GetGauge("replica." + std::to_string(node) + ".lag_ms");
 
   dispatcher_->On(kMsgExec, [this](const net::Message& m) { HandleExec(m); });
   dispatcher_->On(kMsgFinish, [this](const net::Message& m) { HandleFinish(m); });
@@ -114,9 +159,11 @@ void ReplicaNode::Crash() {
   held_.clear();
   pending_sync_.clear();
   ordered_buffer_.clear();
+  ordered_arrival_.clear();
   ordered_exec_.clear();
   ordered_finish_.clear();
   waiting_reads_.clear();
+  backlog_gauge_->Set(0);
   // The durable position after a crash is the larger of:
   //  - engine_applied_: the replication-stream slot reached (slots consumed
   //    by failed/aborted items advance it without an engine commit), and
@@ -163,6 +210,7 @@ void ReplicaNode::HandleExec(const net::Message& m) {
     as_apply.entry.statements = msg.statements;
     as_apply.entry.use_statements = true;
     ordered_buffer_[msg.order] = std::move(as_apply);
+    ordered_arrival_[msg.order] = sim_->Now();
     ordered_exec_[msg.order] = std::make_pair(msg, m.from);
     DrainOrderedBuffer();
     return;
@@ -180,9 +228,19 @@ void ReplicaNode::HandleExec(const net::Message& m) {
 void ReplicaNode::StartUnorderedExec(const ExecTxnMsg& msg, net::NodeId from) {
   ExecTxnReply reply;
   reply.req_id = msg.req_id;
+  sim::TimePoint arrival = sim_->Now();
   RunTransaction(msg, from, &reply);
   int64_t cost = TouchCache(msg.tables, reply.cost_us);
-  sim::TimePoint done = ChargeWorker(cost);
+  sim::TimePoint start = arrival;
+  sim::TimePoint done = ChargeWorker(cost, &start);
+  ReplicaMetrics::Get().exec_queue_wait_ms->Observe(
+      sim::ToMillis(start - arrival));
+  ReplicaMetrics::Get().exec_service_ms->Observe(sim::ToMillis(cost));
+  if (obs::TracingEnabled()) {
+    obs::Tracer::Global().Span(track_,
+                               msg.read_only ? "exec.read" : "exec.write",
+                               arrival, done, msg.trace_id);
+  }
   uint64_t epoch = epoch_;
   bool success_write =
       reply.status.ok() && !msg.read_only && reply.committed_version > 0;
@@ -301,6 +359,7 @@ void ReplicaNode::HandleFinish(const net::Message& m) {
       if (msg.version > engine_applied_ &&
           !ordered_buffer_.count(msg.version)) {
         ordered_buffer_[msg.version] = std::move(fallback);
+        ordered_arrival_[msg.version] = sim_->Now();
         DrainOrderedBuffer();
       }
       FinishTxnReply reply;
@@ -330,6 +389,7 @@ void ReplicaNode::HandleFinish(const net::Message& m) {
   slot.entry.version = msg.version;
   slot.skip = true;  // Engine work happens via the held session.
   ordered_buffer_[msg.version] = std::move(slot);
+  ordered_arrival_[msg.version] = sim_->Now();
   ordered_finish_[msg.version] = std::make_pair(msg, m.from);
   DrainOrderedBuffer();
 }
@@ -355,6 +415,7 @@ void ReplicaNode::HandleApply(const net::Message& m) {
     msg.ack_requested = false;
   }
   ordered_buffer_[v] = std::move(msg);
+  ordered_arrival_[v] = sim_->Now();
   DrainOrderedBuffer();
 }
 
@@ -404,7 +465,10 @@ void ReplicaNode::DrainOrderedBuffer() {
         // row images so the data still commits here.
         Result<engine::CommitSeq> applied =
             engine_->ApplyWriteset(fmsg.entry.writeset);
-        if (!applied.ok()) ++apply_errors_;
+        if (!applied.ok()) {
+          ++apply_errors_;
+          ReplicaMetrics::Get().apply_errors->Increment();
+        }
         cost = ApplyCost(fmsg.entry);
         for (const std::string& k : fmsg.entry.writeset.ConflictKeys()) {
           conflict_keys.push_back(k);
@@ -445,6 +509,7 @@ void ReplicaNode::DrainOrderedBuffer() {
             // full everywhere, so deterministic aborts stay convergent.
             engine_->Execute(sid.value(), "ROLLBACK");
             ++apply_errors_;
+            ReplicaMetrics::Get().apply_errors->Increment();
           }
           engine_->Disconnect(sid.value());
         }
@@ -484,7 +549,10 @@ void ReplicaNode::DrainOrderedBuffer() {
           }
           applied = engine_->ApplyWriteset(entry.writeset);
         }
-        if (!applied.ok()) ++apply_errors_;
+        if (!applied.ok()) {
+          ++apply_errors_;
+          ReplicaMetrics::Get().apply_errors->Increment();
+        }
         cost = static_cast<int64_t>(
             options_.apply_base_us +
             options_.apply_per_op_us *
@@ -497,6 +565,12 @@ void ReplicaNode::DrainOrderedBuffer() {
 
     // --- Timing model ---
     sim::TimePoint now = sim_->Now();
+    sim::TimePoint arrival = now;
+    auto arr_it = ordered_arrival_.find(v);
+    if (arr_it != ordered_arrival_.end()) {
+      arrival = arr_it->second;
+      ordered_arrival_.erase(arr_it);
+    }
     auto worker = std::min_element(apply_workers_free_.begin(),
                                    apply_workers_free_.end());
     sim::TimePoint start = std::max(now, *worker);
@@ -518,15 +592,37 @@ void ReplicaNode::DrainOrderedBuffer() {
     sim::TimePoint completion = std::max(finish, last_ordered_completion_);
     last_ordered_completion_ = completion;
 
+    // Per-stage breakdown: queue wait (buffered + worker/conflict wait),
+    // service (engine/apply cost), commit wait (in-order release).
+    ReplicaMetrics& rm = ReplicaMetrics::Get();
+    rm.apply_entries->Increment();
+    rm.apply_queue_wait_ms->Observe(sim::ToMillis(start - arrival));
+    rm.apply_service_ms->Observe(sim::ToMillis(cost));
+    rm.apply_commit_wait_ms->Observe(sim::ToMillis(completion - finish));
+    if (obs::TracingEnabled()) {
+      obs::Tracer& tracer = obs::Tracer::Global();
+      if (start > arrival) tracer.Span(track_, "apply.wait", arrival, start, v);
+      tracer.Span(track_, "apply.exec", start, finish, v);
+      if (completion > finish) {
+        tracer.Span(track_, "apply.commit", finish, completion, v);
+      }
+    }
+
+    int64_t origin_us = item.entry.origin_commit_us;
     uint64_t epoch = epoch_;
     sim_->ScheduleAt(
-        completion, [this, epoch, v, is_exec, is_finish, exec_reply,
+        completion, [this, epoch, v, origin_us, is_exec, is_finish, exec_reply,
                      finish_reply, reply_to] {
           if (epoch != epoch_ || crashed_) return;
           if (v > applied_version_) {
             applied_version_ = v;
             SendProgress();
             DrainWaitingReads();
+          }
+          if (origin_us > 0 && sim_->Now() >= origin_us) {
+            double lag_ms = sim::ToMillis(sim_->Now() - origin_us);
+            ReplicaMetrics::Get().apply_lag_ms->Observe(lag_ms);
+            lag_ms_gauge_->Set(static_cast<int64_t>(lag_ms));
           }
           if (is_exec && reply_to >= 0) {
             dispatcher_->Send(reply_to, kMsgExecReply, exec_reply,
@@ -537,6 +633,7 @@ void ReplicaNode::DrainOrderedBuffer() {
           }
         });
   }
+  backlog_gauge_->Set(static_cast<int64_t>(ordered_buffer_.size()));
 }
 
 // ---------------------------------------------------------------------------
@@ -558,6 +655,8 @@ void ReplicaNode::ShipCommitted(int sync_acks_for_version,
     // (DDL, PK-less tables).
     entry.use_statements =
         be.writeset.empty() || be.writeset.incomplete;
+    entry.origin_commit_us =
+        be.commit_time_micros > 0 ? be.commit_time_micros : sim_->Now();
     last_shipped_ = std::max<GlobalVersion>(last_shipped_, entry.version);
     if (entry.version == sync_version) sync_version_covered = true;
     for (net::NodeId sub : subscribers_) {
@@ -578,6 +677,8 @@ void ReplicaNode::ShipCommitted(int sync_acks_for_version,
       entry.writeset = be.writeset;
       entry.statements = be.statements;
       entry.use_statements = be.writeset.empty() || be.writeset.incomplete;
+      entry.origin_commit_us =
+          be.commit_time_micros > 0 ? be.commit_time_micros : sim_->Now();
       for (net::NodeId sub : subscribers_) {
         ApplyMsg msg;
         msg.entry = entry;
@@ -636,9 +737,11 @@ int64_t ReplicaNode::TouchCache(const std::vector<std::string>& tables,
                                     options_.cache_miss_penalty);
 }
 
-sim::TimePoint ReplicaNode::ChargeWorker(int64_t cost_us) {
+sim::TimePoint ReplicaNode::ChargeWorker(int64_t cost_us,
+                                         sim::TimePoint* start_out) {
   auto worker = std::min_element(workers_free_.begin(), workers_free_.end());
   sim::TimePoint start = std::max(sim_->Now(), *worker);
+  if (start_out != nullptr) *start_out = start;
   *worker = start + cost_us;
   return *worker;
 }

@@ -12,6 +12,7 @@
 #include "net/dispatcher.h"
 #include "net/failure_detector.h"
 #include "net/network.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace replidb::middleware {
@@ -141,8 +142,10 @@ class ReplicaNode {
   void DrainOrderedBuffer();
 
   /// Charges `cost` against the unordered worker pool; returns completion
-  /// time.
-  sim::TimePoint ChargeWorker(int64_t cost_us);
+  /// time. `start_out`, when given, receives the service start time (the
+  /// queue-wait boundary for the per-stage breakdown).
+  sim::TimePoint ChargeWorker(int64_t cost_us,
+                              sim::TimePoint* start_out = nullptr);
 
   /// Ships binlog-derived entries committed after last_shipped_.
   void ShipCommitted(int sync_acks_for_version = 0,
@@ -174,6 +177,8 @@ class ReplicaNode {
   GlobalVersion applied_version_ = 0;
   GlobalVersion engine_applied_ = 0;
   std::map<GlobalVersion, ApplyMsg> ordered_buffer_;
+  /// When each buffered version entered this node (queue-wait stage start).
+  std::map<GlobalVersion, sim::TimePoint> ordered_arrival_;
   std::map<GlobalVersion, std::pair<ExecTxnMsg, net::NodeId>> ordered_exec_;
   std::map<GlobalVersion, std::pair<FinishTxnMsg, net::NodeId>> ordered_finish_;
   sim::TimePoint last_ordered_completion_ = 0;
@@ -204,6 +209,11 @@ class ReplicaNode {
 
   net::NodeId controller_ = -1;  ///< Set by the controller at registration.
   int software_version_ = 1;
+
+  // Observability: per-node gauges + the trace track name, resolved once.
+  obs::Gauge* backlog_gauge_ = nullptr;  ///< replica.<id>.apply_backlog.
+  obs::Gauge* lag_ms_gauge_ = nullptr;   ///< replica.<id>.lag_ms.
+  std::string track_;                    ///< Trace track, "replica.<id>".
 };
 
 }  // namespace replidb::middleware

@@ -1,6 +1,10 @@
 #include "net/failure_detector.h"
 
+#include <string>
 #include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace replidb::net {
 
@@ -16,6 +20,24 @@ constexpr char kHbPing[] = "hb.ping";
 constexpr char kHbAck[] = "hb.ack";
 constexpr char kKaProbe[] = "ka.probe";
 constexpr char kKaAck[] = "ka.ack";
+
+/// Shared suspicion bookkeeping for both detector flavors: counters plus a
+/// trace instant so Perfetto shows the suspicion timeline per watcher.
+void RecordSuspicion(const char* detector, NodeId watcher, NodeId target,
+                     bool suspect, sim::Simulator* sim) {
+  auto& r = obs::MetricsRegistry::Global();
+  static obs::Counter* raised = r.GetCounter("net.detector.suspicions_raised");
+  static obs::Counter* cleared =
+      r.GetCounter("net.detector.suspicions_cleared");
+  (suspect ? raised : cleared)->Increment();
+  if (obs::TracingEnabled()) {
+    obs::Tracer::Global().Instant(
+        "detector." + std::to_string(watcher),
+        std::string(detector) + (suspect ? ".suspect." : ".clear.") +
+            std::to_string(target),
+        sim->Now());
+  }
+}
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -97,7 +119,11 @@ void HeartbeatDetector::SetSuspect(NodeId target, bool suspect) {
   if (suspect &&
       dispatcher_->network()->Reachable(dispatcher_->node(), target)) {
     ++false_positives_;  // Target was actually reachable: load misread.
+    obs::MetricsRegistry::Global()
+        .GetCounter("net.detector.false_positives")
+        ->Increment();
   }
+  RecordSuspicion("hb", dispatcher_->node(), target, suspect, sim_);
   if (callback_) callback_(target, suspect);
 }
 
@@ -221,6 +247,7 @@ void TcpKeepAliveDetector::SetSuspect(NodeId target, bool suspect) {
     it->second.last_activity = sim_->Now();
     ArmIdleTimer(target);
   }
+  RecordSuspicion("ka", dispatcher_->node(), target, suspect, sim_);
   if (callback_) callback_(target, suspect);
 }
 

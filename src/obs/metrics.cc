@@ -1,0 +1,147 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace replidb::obs {
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(const std::string& name,
+                                                      Kind kind) {
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    REPLIDB_CHECK(it->second.kind == kind,
+                  "metric re-registered with a different kind");
+    return &it->second;
+  }
+  Entry entry;
+  entry.kind = kind;
+  switch (kind) {
+    case Kind::kCounter:
+      entry.counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      entry.gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      entry.histogram = std::make_unique<HistogramMetric>();
+      break;
+  }
+  return &metrics_.emplace(name, std::move(entry)).first->second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreate(name, Kind::kCounter)->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreate(name, Kind::kGauge)->gauge.get();
+}
+
+HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreate(name, Kind::kHistogram)->histogram.get();
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end() || it->second.kind != Kind::kCounter) return nullptr;
+  return it->second.counter.get();
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end() || it->second.kind != Kind::kGauge) return nullptr;
+  return it->second.gauge.get();
+}
+
+Histogram MetricsRegistry::HistogramCopy(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end() || it->second.kind != Kind::kHistogram) return {};
+  return it->second.histogram->Snapshot();
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(metrics_.size());
+  for (const auto& [name, entry] : metrics_) {
+    MetricSample s;
+    s.name = name;
+    switch (entry.kind) {
+      case Kind::kCounter:
+        s.kind = MetricKind::kCounter;
+        s.counter = entry.counter->value();
+        break;
+      case Kind::kGauge:
+        s.kind = MetricKind::kGauge;
+        s.gauge = entry.gauge->value();
+        break;
+      case Kind::kHistogram:
+        s.kind = MetricKind::kHistogram;
+        s.histogram = entry.histogram->Snapshot();
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;  // std::map iteration is already name-sorted.
+}
+
+std::string MetricsRegistry::DumpText() const {
+  std::string out;
+  char line[256];
+  for (const MetricSample& s : Snapshot()) {
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        std::snprintf(line, sizeof(line), "%-48s counter %llu\n",
+                      s.name.c_str(),
+                      static_cast<unsigned long long>(s.counter));
+        break;
+      case MetricKind::kGauge:
+        std::snprintf(line, sizeof(line), "%-48s gauge   %lld\n",
+                      s.name.c_str(), static_cast<long long>(s.gauge));
+        break;
+      case MetricKind::kHistogram:
+        std::snprintf(line, sizeof(line), "%-48s histo   %s\n",
+                      s.name.c_str(), s.histogram.Summary().c_str());
+        break;
+    }
+    out += line;
+  }
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : metrics_) {
+    (void)name;
+    switch (entry.kind) {
+      case Kind::kCounter:
+        entry.counter->Reset();
+        break;
+      case Kind::kGauge:
+        entry.gauge->Reset();
+        break;
+      case Kind::kHistogram:
+        entry.histogram->Reset();
+        break;
+    }
+  }
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return metrics_.size();
+}
+
+}  // namespace replidb::obs

@@ -1,0 +1,138 @@
+#ifndef REPLIDB_OBS_METRICS_H_
+#define REPLIDB_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace replidb::obs {
+
+/// \brief Process-wide registry of named counters, gauges, and histograms.
+///
+/// Naming convention: `subsystem.object.metric`, e.g.
+/// `replica.apply.queue_wait_ms`, `middleware.certifier.abort.conflict`,
+/// `gcs.sequencer.backlog_us`. Per-node instances put the node id in the
+/// object segment (`middleware.replica.3.lag_txns`); plain names aggregate
+/// across instances.
+///
+/// Counters and gauges are relaxed atomics — cheap enough for hot paths —
+/// and the pointers returned by Get*() stay valid for the registry's
+/// lifetime (Reset() zeroes values but never drops registrations), so call
+/// sites can look a metric up once and update it forever after.
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void Increment(uint64_t by = 1) { v_.fetch_add(by, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Point-in-time level (queue depth, lag, backlog).
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Mutex-guarded sample distribution with percentile queries.
+class HistogramMetric {
+ public:
+  void Observe(double v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    h_.Add(v);
+  }
+  /// Copy of the underlying histogram (consistent snapshot).
+  Histogram Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return h_;
+  }
+  size_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return h_.count();
+  }
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    h_.Clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Histogram h_;
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One metric's value at Snapshot() time.
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  uint64_t counter = 0;
+  int64_t gauge = 0;
+  Histogram histogram;  ///< Kind kHistogram only.
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry used by the instrumented subsystems.
+  static MetricsRegistry& Global();
+
+  /// Finds or creates a metric. A name is bound to one kind for the
+  /// registry's lifetime; asking for the same name as a different kind
+  /// aborts (it is a programming error, not an input error).
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  HistogramMetric* GetHistogram(const std::string& name);
+
+  /// Lookup without creating. nullptr / empty when never registered.
+  const Counter* FindCounter(const std::string& name) const;
+  const Gauge* FindGauge(const std::string& name) const;
+  Histogram HistogramCopy(const std::string& name) const;
+
+  /// All metrics, sorted by name.
+  std::vector<MetricSample> Snapshot() const;
+
+  /// Human-readable dump of every metric (one per line).
+  std::string DumpText() const;
+
+  /// Zeroes all values. Registrations (and handed-out pointers) survive.
+  void Reset();
+
+  size_t size() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<HistogramMetric> histogram;
+  };
+
+  Entry* FindOrCreate(const std::string& name, Kind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> metrics_;
+};
+
+}  // namespace replidb::obs
+
+#endif  // REPLIDB_OBS_METRICS_H_

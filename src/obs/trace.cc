@@ -1,0 +1,243 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+namespace replidb::obs {
+
+uint64_t NextTraceId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+const char* Tracer::InitFromEnv() {
+  static const char* path = [] {
+    const char* p = std::getenv("REPLIDB_TRACE");
+    if (p == nullptr || p[0] == '\0') return static_cast<const char*>(nullptr);
+    Global().Enable();
+    return p;
+  }();
+  return path;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_ = 0;
+}
+
+int32_t Tracer::TrackIdLocked(const std::string& track) {
+  auto it = track_ids_.find(track);
+  if (it != track_ids_.end()) return it->second;
+  int32_t id = static_cast<int32_t>(track_names_.size());
+  track_ids_[track] = id;
+  track_names_.push_back(track);
+  return id;
+}
+
+bool Tracer::PushLocked(Event e) {
+  if (events_.size() >= kMaxEvents) {
+    ++dropped_;
+    return false;
+  }
+  events_.push_back(std::move(e));
+  return true;
+}
+
+void Tracer::Span(const std::string& track, const std::string& name,
+                  int64_t start_us, int64_t end_us, uint64_t txn) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Event e;
+  e.phase = 'X';
+  e.tid = TrackIdLocked(track);
+  e.ts_us = start_us;
+  e.dur_us = std::max<int64_t>(0, end_us - start_us);
+  e.txn = txn;
+  e.value = 0;
+  e.name = name;
+  PushLocked(std::move(e));
+}
+
+void Tracer::Instant(const std::string& track, const std::string& name,
+                     int64_t ts_us, uint64_t txn) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Event e;
+  e.phase = 'i';
+  e.tid = TrackIdLocked(track);
+  e.ts_us = ts_us;
+  e.dur_us = 0;
+  e.txn = txn;
+  e.value = 0;
+  e.name = name;
+  PushLocked(std::move(e));
+}
+
+void Tracer::CounterSample(const std::string& series, int64_t ts_us,
+                           double value) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Event e;
+  e.phase = 'C';
+  e.tid = 0;
+  e.ts_us = ts_us;
+  e.dur_us = 0;
+  e.txn = 0;
+  e.value = value;
+  e.name = series;
+  PushLocked(std::move(e));
+}
+
+size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+namespace {
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string Tracer::ChromeTraceJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(events_.size() * 96 + 1024);
+  out += "{\"traceEvents\":[";
+  char buf[160];
+  bool first = true;
+  // Thread-name metadata so the viewer shows subsystem lanes by name.
+  for (size_t i = 0; i < track_names_.size(); ++i) {
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%zu,\"args\":{\"name\":\"",
+                  i);
+    out += buf;
+    AppendJsonEscaped(&out, track_names_[i]);
+    out += "\"}}";
+  }
+  for (const Event& e : events_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    AppendJsonEscaped(&out, e.name);
+    out += "\",";
+    switch (e.phase) {
+      case 'X':
+        std::snprintf(buf, sizeof(buf),
+                      "\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%lld,"
+                      "\"dur\":%lld",
+                      e.tid, static_cast<long long>(e.ts_us),
+                      static_cast<long long>(e.dur_us));
+        out += buf;
+        break;
+      case 'i':
+        std::snprintf(buf, sizeof(buf),
+                      "\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%d,"
+                      "\"ts\":%lld",
+                      e.tid, static_cast<long long>(e.ts_us));
+        out += buf;
+        break;
+      case 'C':
+        std::snprintf(buf, sizeof(buf),
+                      "\"ph\":\"C\",\"pid\":1,\"ts\":%lld,\"args\":{"
+                      "\"value\":%.3f}",
+                      static_cast<long long>(e.ts_us), e.value);
+        out += buf;
+        break;
+    }
+    if (e.txn != 0) {
+      std::snprintf(buf, sizeof(buf),
+                    ",\"args\":{\"txn\":%llu}",
+                    static_cast<unsigned long long>(e.txn));
+      out += buf;
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+bool Tracer::WriteChromeTrace(const std::string& path) const {
+  std::string json = ChromeTraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return written == json.size();
+}
+
+void Tracer::DumpTimeline(std::FILE* out, size_t limit) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const Event*> ordered;
+  ordered.reserve(events_.size());
+  for (const Event& e : events_) ordered.push_back(&e);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Event* a, const Event* b) {
+                     return a->ts_us < b->ts_us;
+                   });
+  std::fprintf(out, "-- trace timeline (%zu events%s) --\n", events_.size(),
+               dropped_ > 0 ? ", capped" : "");
+  size_t n = std::min(limit, ordered.size());
+  for (size_t i = 0; i < n; ++i) {
+    const Event& e = *ordered[i];
+    const char* track =
+        e.phase == 'C' ? "-" : track_names_[static_cast<size_t>(e.tid)].c_str();
+    if (e.phase == 'X') {
+      std::fprintf(out, "[%12.3f ms] %-16s %-28s dur=%.3f ms",
+                   static_cast<double>(e.ts_us) / 1000.0, track,
+                   e.name.c_str(), static_cast<double>(e.dur_us) / 1000.0);
+    } else if (e.phase == 'i') {
+      std::fprintf(out, "[%12.3f ms] %-16s %-28s (instant)",
+                   static_cast<double>(e.ts_us) / 1000.0, track,
+                   e.name.c_str());
+    } else {
+      std::fprintf(out, "[%12.3f ms] %-16s %-28s value=%.3f",
+                   static_cast<double>(e.ts_us) / 1000.0, track,
+                   e.name.c_str(), e.value);
+    }
+    if (e.txn != 0) {
+      std::fprintf(out, " txn=%llu", static_cast<unsigned long long>(e.txn));
+    }
+    std::fprintf(out, "\n");
+  }
+  if (ordered.size() > n) {
+    std::fprintf(out, "... %zu more events\n", ordered.size() - n);
+  }
+}
+
+}  // namespace replidb::obs

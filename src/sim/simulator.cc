@@ -2,7 +2,17 @@
 
 #include <utility>
 
+#include "common/logging.h"
+
 namespace replidb::sim {
+
+Simulator::Simulator() {
+  // Most recently constructed simulator wins the log clock; benches that
+  // stand up clusters sequentially always stamp with the live one.
+  SetLogClock(this, [this] { return now_; });
+}
+
+Simulator::~Simulator() { ClearLogClock(this); }
 
 EventId Simulator::Schedule(Duration delay, std::function<void()> fn) {
   if (delay < 0) delay = 0;

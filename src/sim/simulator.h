@@ -39,7 +39,10 @@ using EventId = uint64_t;
 /// cluster time in milliseconds of wall time.
 class Simulator {
  public:
-  Simulator() = default;
+  /// Construction registers this simulator as the process log clock (log
+  /// lines get a virtual-time prefix); destruction unregisters it.
+  Simulator();
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 

@@ -180,5 +180,61 @@ TEST(HistogramTest, ClearResets) {
   EXPECT_EQ(h.sum(), 0.0);
 }
 
+TEST(HistogramTest, EmptyPercentilesAndExtremaAreZero) {
+  Histogram h;
+  EXPECT_EQ(h.Min(), 0.0);
+  EXPECT_EQ(h.Max(), 0.0);
+  EXPECT_EQ(h.Median(), 0.0);
+  EXPECT_EQ(h.P95(), 0.0);
+  EXPECT_EQ(h.P99(), 0.0);
+}
+
+TEST(HistogramTest, PercentileInterpolatesBetweenSamples) {
+  Histogram h;
+  h.Add(0);
+  h.Add(10);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 5.0);
+  for (double v : {20.0, 30.0, 40.0}) h.Add(v);
+  // Sorted: 0 10 20 30 40 — rank p/100 * (n-1) lands on exact indices.
+  EXPECT_DOUBLE_EQ(h.Percentile(25), 10.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 20.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(75), 30.0);
+}
+
+TEST(HistogramTest, PercentilesOnSkewedTail) {
+  // 99 fast requests and one 1000 ms straggler: the median must ignore the
+  // tail, p99 must interpolate toward it, max must report it exactly.
+  Histogram h;
+  for (int i = 0; i < 99; ++i) h.Add(1.0);
+  h.Add(1000.0);
+  EXPECT_DOUBLE_EQ(h.Median(), 1.0);
+  EXPECT_DOUBLE_EQ(h.P95(), 1.0);
+  // rank = 0.99 * 99 = 98.01 -> 0.99*samples[98] + 0.01*samples[99].
+  EXPECT_NEAR(h.P99(), 10.99, 1e-6);
+  EXPECT_DOUBLE_EQ(h.Max(), 1000.0);
+}
+
+TEST(HistogramTest, InsertionOrderDoesNotMatter) {
+  Histogram asc, desc;
+  for (int i = 1; i <= 100; ++i) asc.Add(i);
+  for (int i = 100; i >= 1; --i) desc.Add(i);
+  for (double p : {10.0, 50.0, 90.0, 95.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(asc.Percentile(p), desc.Percentile(p)) << "p=" << p;
+  }
+  EXPECT_DOUBLE_EQ(asc.Max(), desc.Max());
+}
+
+TEST(HistogramTest, MergeCombinesSamples) {
+  Histogram a, b;
+  for (int i = 1; i <= 50; ++i) a.Add(i);
+  for (int i = 51; i <= 100; ++i) b.Add(i);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 100u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 50.5);
+  EXPECT_DOUBLE_EQ(a.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.Max(), 100.0);
+  EXPECT_NEAR(a.Median(), 50.5, 1e-9);
+}
+
 }  // namespace
 }  // namespace replidb

@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace replidb::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, CounterIncrementsAndResets) {
+  MetricsRegistry r;
+  Counter* c = r.GetCounter("test.obj.events");
+  EXPECT_EQ(c->value(), 0u);
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->value(), 42u);
+  c->Reset();
+  EXPECT_EQ(c->value(), 0u);
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSamePointer) {
+  MetricsRegistry r;
+  Counter* a = r.GetCounter("test.obj.events");
+  Counter* b = r.GetCounter("test.obj.events");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(MetricsRegistryTest, GaugeSetAddValue) {
+  MetricsRegistry r;
+  Gauge* g = r.GetGauge("test.queue.depth");
+  g->Set(10);
+  g->Add(-3);
+  EXPECT_EQ(g->value(), 7);
+  g->Set(-5);  // Gauges may go negative (e.g. clock-skewed lag).
+  EXPECT_EQ(g->value(), -5);
+}
+
+TEST(MetricsRegistryTest, HistogramObserveAndCopy) {
+  MetricsRegistry r;
+  HistogramMetric* h = r.GetHistogram("test.stage.latency_ms");
+  for (int i = 1; i <= 100; ++i) h->Observe(i);
+  EXPECT_EQ(h->count(), 100u);
+  Histogram copy = r.HistogramCopy("test.stage.latency_ms");
+  EXPECT_EQ(copy.count(), 100u);
+  EXPECT_DOUBLE_EQ(copy.Mean(), 50.5);
+  EXPECT_DOUBLE_EQ(copy.Max(), 100.0);
+}
+
+TEST(MetricsRegistryTest, FindDoesNotCreate) {
+  MetricsRegistry r;
+  EXPECT_EQ(r.FindCounter("test.not.registered"), nullptr);
+  EXPECT_EQ(r.FindGauge("test.not.registered"), nullptr);
+  EXPECT_EQ(r.HistogramCopy("test.not.registered").count(), 0u);
+  EXPECT_EQ(r.size(), 0u);
+}
+
+TEST(MetricsRegistryTest, FindRejectsWrongKind) {
+  MetricsRegistry r;
+  r.GetCounter("test.obj.events");
+  EXPECT_EQ(r.FindGauge("test.obj.events"), nullptr);
+}
+
+TEST(MetricsRegistryDeathTest, KindMismatchAborts) {
+  MetricsRegistry r;
+  r.GetCounter("test.obj.events");
+  EXPECT_DEATH(r.GetGauge("test.obj.events"), "different kind");
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedByName) {
+  MetricsRegistry r;
+  r.GetCounter("zz.last.metric");
+  r.GetGauge("aa.first.metric");
+  r.GetHistogram("mm.middle.metric");
+  auto snap = r.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "aa.first.metric");
+  EXPECT_EQ(snap[0].kind, MetricKind::kGauge);
+  EXPECT_EQ(snap[1].name, "mm.middle.metric");
+  EXPECT_EQ(snap[1].kind, MetricKind::kHistogram);
+  EXPECT_EQ(snap[2].name, "zz.last.metric");
+  EXPECT_EQ(snap[2].kind, MetricKind::kCounter);
+}
+
+TEST(MetricsRegistryTest, SnapshotCarriesValues) {
+  MetricsRegistry r;
+  r.GetCounter("test.c")->Increment(7);
+  r.GetGauge("test.g")->Set(-2);
+  r.GetHistogram("test.h")->Observe(3.5);
+  for (const MetricSample& s : r.Snapshot()) {
+    if (s.name == "test.c") {
+      EXPECT_EQ(s.counter, 7u);
+    }
+    if (s.name == "test.g") {
+      EXPECT_EQ(s.gauge, -2);
+    }
+    if (s.name == "test.h") {
+      EXPECT_EQ(s.histogram.count(), 1u);
+      EXPECT_DOUBLE_EQ(s.histogram.Max(), 3.5);
+    }
+  }
+}
+
+TEST(MetricsRegistryTest, DumpTextMentionsEveryMetric) {
+  MetricsRegistry r;
+  r.GetCounter("test.c")->Increment(7);
+  r.GetGauge("test.g")->Set(9);
+  r.GetHistogram("test.h")->Observe(1.0);
+  std::string dump = r.DumpText();
+  EXPECT_NE(dump.find("test.c"), std::string::npos);
+  EXPECT_NE(dump.find("test.g"), std::string::npos);
+  EXPECT_NE(dump.find("test.h"), std::string::npos);
+  EXPECT_NE(dump.find("7"), std::string::npos);
+  EXPECT_NE(dump.find("9"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesButKeepsRegistrations) {
+  MetricsRegistry r;
+  Counter* c = r.GetCounter("test.c");
+  Gauge* g = r.GetGauge("test.g");
+  HistogramMetric* h = r.GetHistogram("test.h");
+  c->Increment(5);
+  g->Set(5);
+  h->Observe(5);
+  r.Reset();
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(g->value(), 0);
+  EXPECT_EQ(h->count(), 0u);
+  // Handed-out pointers survive Reset: instrumentation caches them once.
+  c->Increment();
+  EXPECT_EQ(r.FindCounter("test.c")->value(), 1u);
+}
+
+TEST(MetricsRegistryTest, GlobalIsASingleton) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+TEST(TracerTest, DisabledRecordsNothing) {
+  Tracer t;
+  EXPECT_FALSE(t.enabled());
+  t.Span("replica.1", "apply.exec", 100, 150, 7);
+  t.Instant("detector.1", "suspect.2", 200);
+  t.CounterSample("replica.1.lag", 300, 4.0);
+  EXPECT_EQ(t.event_count(), 0u);
+}
+
+TEST(TracerTest, RecordsSpansInstantsAndCounters) {
+  Tracer t;
+  t.Enable();
+  t.Span("replica.1", "apply.exec", 100, 150, 7);
+  t.Instant("detector.1", "suspect.2", 200);
+  t.CounterSample("replica.1.lag", 300, 4.0);
+  EXPECT_EQ(t.event_count(), 3u);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(TracerTest, ClearDropsEventsKeepsEnabled) {
+  Tracer t;
+  t.Enable();
+  t.Span("a", "s", 0, 1);
+  t.Clear();
+  EXPECT_EQ(t.event_count(), 0u);
+  EXPECT_TRUE(t.enabled());
+}
+
+TEST(TracerTest, ChromeTraceJsonStructure) {
+  Tracer t;
+  t.Enable();
+  t.Span("replica.1", "apply.exec", 100, 150, 7);
+  t.Instant("controller.9", "failover.2", 250);
+  t.CounterSample("gcs.backlog", 300, 12.5);
+  std::string json = t.ChromeTraceJson();
+  // Chrome trace envelope plus one event of each phase.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":50"), std::string::npos);
+  EXPECT_NE(json.find("apply.exec"), std::string::npos);
+  // Track names are emitted as thread_name metadata for the viewer.
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("replica.1"), std::string::npos);
+  // Crude structural sanity: balanced braces and brackets.
+  int braces = 0, brackets = 0;
+  for (char ch : json) {
+    if (ch == '{') ++braces;
+    if (ch == '}') --braces;
+    if (ch == '[') ++brackets;
+    if (ch == ']') --brackets;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(TracerTest, NestedSpansShareATrackLane) {
+  // Chrome-trace "X" events nest by time containment within one tid: an
+  // outer mw.txn span and an inner apply.exec span on the same track must
+  // come out with the same tid and contained [ts, ts+dur] windows.
+  Tracer t;
+  t.Enable();
+  t.Span("replica.1", "mw.txn", 100, 200, 7);
+  t.Span("replica.1", "apply.exec", 120, 160, 7);
+  t.Span("controller.9", "mw.process", 90, 95, 7);
+  std::string json = t.ChromeTraceJson();
+  size_t outer = json.find("\"mw.txn\"");
+  size_t inner = json.find("\"apply.exec\"");
+  size_t other = json.find("\"mw.process\"");
+  ASSERT_NE(outer, std::string::npos);
+  ASSERT_NE(inner, std::string::npos);
+  ASSERT_NE(other, std::string::npos);
+  auto tid_of = [&json](size_t from) {
+    size_t p = json.find("\"tid\":", from);
+    return json.substr(p + 6, json.find_first_of(",}", p + 6) - p - 6);
+  };
+  EXPECT_EQ(tid_of(outer), tid_of(inner));
+  EXPECT_NE(tid_of(outer), tid_of(other));
+  EXPECT_NE(json.find("\"ts\":100,\"dur\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":120,\"dur\":40"), std::string::npos);
+}
+
+TEST(TracerTest, WriteChromeTraceRoundTrips) {
+  Tracer t;
+  t.Enable();
+  t.Span("replica.1", "apply.exec", 100, 150, 7);
+  std::string path = ::testing::TempDir() + "obs_test_trace.json";
+  ASSERT_TRUE(t.WriteChromeTrace(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) contents.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(contents, t.ChromeTraceJson());
+  EXPECT_EQ(contents.front(), '{');
+}
+
+TEST(TracerTest, WriteChromeTraceFailsOnBadPath) {
+  Tracer t;
+  t.Enable();
+  EXPECT_FALSE(t.WriteChromeTrace("/nonexistent-dir/trace.json"));
+}
+
+TEST(TracerTest, DumpTimelineDoesNotCrash) {
+  Tracer t;
+  t.Enable();
+  t.Span("replica.1", "apply.exec", 100, 150, 7);
+  t.Instant("detector.1", "suspect.2", 120);
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  t.DumpTimeline(sink, 10);
+  EXPECT_GT(std::ftell(sink), 0L);
+  std::fclose(sink);
+}
+
+TEST(TracerTest, NextTraceIdIsUniqueAndNonZero) {
+  std::set<uint64_t> ids;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t id = NextTraceId();
+    EXPECT_NE(id, 0u);
+    EXPECT_TRUE(ids.insert(id).second);
+  }
+}
+
+TEST(TracerTest, GlobalToggleDrivesTracingEnabled) {
+  EXPECT_FALSE(TracingEnabled());  // Off by default (REPLIDB_TRACE unset).
+  Tracer::Global().Enable();
+  EXPECT_TRUE(TracingEnabled());
+  Tracer::Global().Disable();
+  Tracer::Global().Clear();
+  EXPECT_FALSE(TracingEnabled());
+}
+
+}  // namespace
+}  // namespace replidb::obs
