@@ -218,6 +218,31 @@ void ConnectionPoolFailback() {
   table.Print("(e) connection-pool failback after a replica recovers (§4.3.3)");
 }
 
+void StatusConsole() {
+  // (f) The operator console: run a master-slave cluster with the online
+  // auditor enabled, then print the SHOW-REPLICA-STATUS table and the
+  // Prometheus exposition of the whole metrics registry — the two views a
+  // monitoring stack would scrape.
+  workload::MicroWorkload::Options wo;
+  wo.rows = 500;
+  wo.write_fraction = 0.3;
+  workload::MicroWorkload w(wo);
+  ClusterOptions opts = BenchDefaults();
+  opts.replicas = 3;
+  opts.controller.mode = ReplicationMode::kMasterSlaveAsync;
+  opts.controller.audit_interval = 500 * sim::kMillisecond;
+  auto c = MakeCluster(std::move(opts), &w);
+  RunOpenLoop(c.get(), &w, /*rate_tps=*/400, 8 * sim::kSecond);
+  c->sim.RunFor(2 * sim::kSecond);  // Drain so slaves reach the head.
+
+  std::printf("\n%s", c->ShowReplicaStatus().c_str());
+  std::printf("\n(f) machine-readable: Cluster::StatusReport() / JSON via\n"
+              "audit::RenderStatusJson(); REPLIDB_STATUS=1 prints this\n"
+              "console at the end of any bench.\n");
+  std::printf("\n-- metrics registry (prometheus exposition) --\n%s",
+              obs::MetricsRegistry::Global().DumpPrometheus().c_str());
+}
+
 void Run() {
   metrics::Banner("C13 / §4.4: management operations");
   OnlineBackup();
@@ -225,6 +250,7 @@ void Run() {
   MetadataTrap();
   RollingUpgradeRun();
   ConnectionPoolFailback();
+  StatusConsole();
   std::printf(
       "\nBackups degrade their donor; bringing a replica online is a\n"
       "clone + recovery-log replay with no service interruption (the\n"
@@ -237,5 +263,6 @@ void Run() {
 
 int main() {
   replidb::bench::Run();
+  replidb::bench::DumpMetricsIfEnabled();
   return 0;
 }

@@ -2,6 +2,8 @@
 #define REPLIDB_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <string>
@@ -173,6 +175,48 @@ inline void WriteTraceIfEnabled() {
                 obs::Tracer::Global().event_count(), path);
   } else {
     std::printf("\ntrace: FAILED to write %s\n", path);
+  }
+}
+
+/// \brief Dumps the whole MetricsRegistry at bench exit when
+/// REPLIDB_METRICS_DUMP is set: "-" prints Prometheus text to stdout, a
+/// path ending in ".json" writes the JSON dump, any other path writes the
+/// Prometheus text exposition. Call last in main().
+inline void DumpMetricsIfEnabled() {
+  const char* path = std::getenv("REPLIDB_METRICS_DUMP");
+  if (path == nullptr || *path == '\0') return;
+  auto& registry = obs::MetricsRegistry::Global();
+  if (std::strcmp(path, "-") == 0) {
+    std::printf("\n-- metrics (prometheus exposition) --\n%s",
+                registry.DumpPrometheus().c_str());
+    return;
+  }
+  size_t len = std::strlen(path);
+  bool json = len > 5 && std::strcmp(path + len - 5, ".json") == 0;
+  std::string body = json ? registry.DumpJson() : registry.DumpPrometheus();
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::printf("\nmetrics: FAILED to write %s\n", path);
+    return;
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  std::printf("\nmetrics: %zu metrics -> %s (%s)\n", registry.size(), path,
+              json ? "json" : "prometheus");
+}
+
+/// \brief Prints the SHOW REPLICA STATUS console for a cluster when
+/// REPLIDB_STATUS is set (any non-empty value; "json" selects the JSON
+/// rendering). Benches demonstrating the console call the renderers
+/// directly; this hook adds it to any bench for free.
+inline void PrintStatusIfEnabled(const Cluster& c) {
+  const char* v = std::getenv("REPLIDB_STATUS");
+  if (v == nullptr || *v == '\0') return;
+  audit::StatusSnapshot snap = c.StatusReport();
+  if (std::strcmp(v, "json") == 0) {
+    std::printf("\n%s\n", audit::RenderStatusJson(snap).c_str());
+  } else {
+    std::printf("\n%s", audit::RenderReplicaStatus(snap).c_str());
   }
 }
 

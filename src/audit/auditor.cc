@@ -1,0 +1,152 @@
+#include "audit/auditor.h"
+
+#include <algorithm>
+#include <set>
+
+namespace replidb::audit {
+
+void DivergenceAuditor::BeginEpoch(uint64_t epoch, uint64_t version,
+                                   std::vector<int32_t> expected) {
+  PendingEpoch pe;
+  pe.version = version;
+  pe.expected = std::move(expected);
+  pending_[epoch] = std::move(pe);
+  ++epochs_started_;
+  // A replica that crashed mid-epoch never reports; cap the backlog so
+  // abandoned epochs cannot accumulate forever.
+  while (pending_.size() > 64) pending_.erase(pending_.begin());
+}
+
+std::vector<Divergence> DivergenceAuditor::AddReport(
+    ReplicaAuditReport report) {
+  ++reports_received_;
+  ReplicaAuditState& st = replica_state_[report.replica];
+  if (report.epoch >= st.last_epoch) {
+    st.last_epoch = report.epoch;
+    st.last_version = report.captured_version;
+    st.last_applied_seq = report.last_applied_seq;
+  }
+
+  auto it = pending_.find(report.epoch);
+  if (it == pending_.end()) return {};  // Stale or evicted epoch.
+  PendingEpoch& pe = it->second;
+  bool expected = std::find(pe.expected.begin(), pe.expected.end(),
+                            report.replica) != pe.expected.end();
+  if (!expected) return {};
+  for (const ReplicaAuditReport& r : pe.reports) {
+    if (r.replica == report.replica) return {};  // Duplicate.
+  }
+  pe.reports.push_back(std::move(report));
+  if (pe.reports.size() < pe.expected.size()) return {};
+
+  uint64_t epoch = it->first;
+  PendingEpoch done = std::move(pe);
+  pending_.erase(it);
+  return CompleteEpoch(epoch, std::move(done));
+}
+
+std::vector<Divergence> DivergenceAuditor::CompleteEpoch(uint64_t epoch,
+                                                         PendingEpoch pe) {
+  // Group reports by capture position: only replicas at the same stream
+  // position hold comparable content.
+  std::map<uint64_t, std::vector<const ReplicaAuditReport*>> groups;
+  for (const ReplicaAuditReport& r : pe.reports) {
+    groups[r.captured_version].push_back(&r);
+  }
+
+  std::vector<Divergence> fresh;
+  bool any_compared = false;
+  for (auto& [version, group] : groups) {
+    if (group.size() < 2) continue;
+    any_compared = true;
+    // Deterministic order so majority ties break toward the lowest id.
+    std::sort(group.begin(), group.end(),
+              [](const ReplicaAuditReport* a, const ReplicaAuditReport* b) {
+                return a->replica < b->replica;
+              });
+
+    // Union of table names across the group: a table missing from one
+    // replica (e.g. a CREATE TABLE that failed there) counts as digest 0.
+    std::set<std::string> tables;
+    for (const ReplicaAuditReport* r : group) {
+      for (const auto& [name, digest] : r->table_digests) {
+        (void)digest;
+        tables.insert(name);
+      }
+    }
+
+    for (const std::string& table : tables) {
+      auto digest_of = [&](const ReplicaAuditReport* r) -> uint64_t {
+        for (const auto& [name, digest] : r->table_digests) {
+          if (name == table) return digest;
+        }
+        return 0;
+      };
+      // Majority digest is canonical; first-seen wins ties, which after
+      // the sort above means the lowest replica id.
+      std::map<uint64_t, int> votes;
+      uint64_t canonical = digest_of(group.front());
+      int best = 0;
+      for (const ReplicaAuditReport* r : group) {
+        uint64_t d = digest_of(r);
+        int v = ++votes[d];
+        if (v > best) {
+          best = v;
+          canonical = d;
+        }
+      }
+      for (const ReplicaAuditReport* r : group) {
+        uint64_t d = digest_of(r);
+        if (d == canonical) continue;
+        ReplicaAuditState& st = replica_state_[r->replica];
+        st.diverged = true;
+        if (st.first_divergent_epoch == 0) st.first_divergent_epoch = epoch;
+        auto key = std::make_pair(r->replica, table);
+        if (known_.count(key)) continue;  // Already reported.
+        known_[key] = epoch;
+        Divergence dv;
+        dv.epoch = epoch;
+        dv.version = version;
+        dv.table = table;
+        dv.replica = r->replica;
+        dv.expected_digest = canonical;
+        dv.actual_digest = d;
+        divergences_.push_back(dv);
+        fresh.push_back(dv);
+      }
+    }
+  }
+  if (any_compared) {
+    ++epochs_compared_;
+  } else {
+    ++epochs_unaligned_;
+  }
+  return fresh;
+}
+
+bool DivergenceAuditor::IsDiverged(int32_t replica) const {
+  auto it = replica_state_.find(replica);
+  return it != replica_state_.end() && it->second.diverged;
+}
+
+uint64_t DivergenceAuditor::FirstDivergentEpoch(int32_t replica) const {
+  auto it = replica_state_.find(replica);
+  return it == replica_state_.end() ? 0 : it->second.first_divergent_epoch;
+}
+
+std::vector<std::string> DivergenceAuditor::DivergedTables(
+    int32_t replica) const {
+  std::vector<std::string> out;
+  for (const auto& [key, epoch] : known_) {
+    (void)epoch;
+    if (key.first == replica) out.push_back(key.second);
+  }
+  return out;  // std::map iteration order is already sorted.
+}
+
+ReplicaAuditState DivergenceAuditor::StateOf(int32_t replica) const {
+  auto it = replica_state_.find(replica);
+  return it == replica_state_.end() ? ReplicaAuditState{} : it->second;
+}
+
+}  // namespace replidb::audit

@@ -1,0 +1,116 @@
+#ifndef REPLIDB_AUDIT_AUDITOR_H_
+#define REPLIDB_AUDIT_AUDITOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace replidb::audit {
+
+/// \brief One replica's answer to an audit barrier: where it was in the
+/// replication stream when the barrier passed, and the incremental digest
+/// of every table at that point.
+struct ReplicaAuditReport {
+  int32_t replica = -1;
+  uint64_t epoch = 0;
+  /// Stream position (global version / commit seq) the replica had applied
+  /// when it captured the digests. May exceed the barrier's version if the
+  /// replica was already ahead when the barrier arrived.
+  uint64_t captured_version = 0;
+  /// Engine commit sequence at capture (introspection only).
+  uint64_t last_applied_seq = 0;
+  /// "database.table" -> incremental content digest.
+  std::vector<std::pair<std::string, uint64_t>> table_digests;
+};
+
+/// \brief A localized divergence: which replica, which table, and the
+/// first audit epoch that exposed it.
+struct Divergence {
+  uint64_t epoch = 0;    ///< First epoch the mismatch was observed.
+  uint64_t version = 0;  ///< Aligned stream position compared at.
+  std::string table;     ///< "database.table".
+  int32_t replica = -1;  ///< The minority (diverged) replica.
+  uint64_t expected_digest = 0;  ///< Majority digest at that version.
+  uint64_t actual_digest = 0;    ///< What the replica reported.
+};
+
+/// \brief Per-replica audit state for the status console.
+struct ReplicaAuditState {
+  uint64_t last_epoch = 0;    ///< Newest epoch this replica reported for.
+  uint64_t last_version = 0;  ///< Stream position of that report.
+  uint64_t last_applied_seq = 0;
+  bool diverged = false;
+  uint64_t first_divergent_epoch = 0;  ///< 0 = never diverged.
+};
+
+/// \brief Epoch-based cross-replica content auditor (pure logic).
+///
+/// The controller starts an epoch, broadcasts a barrier through the
+/// replication stream, and feeds every replica's report back here. When an
+/// epoch is complete the auditor compares digests between replicas that
+/// captured at the same stream position: equal positions on a
+/// deterministic stream imply equal content, so any mismatch is real
+/// divergence (statement replication of nondeterministic SQL, lost
+/// writes, botched recovery). The majority digest is taken as canonical
+/// and minority replicas are flagged, once per (replica, table).
+///
+/// Replicas that captured at a position nobody else reached cannot be
+/// compared that epoch; such singleton groups are counted as unaligned
+/// rather than risking a false positive.
+class DivergenceAuditor {
+ public:
+  /// Opens epoch `epoch` at barrier position `version`, expecting a report
+  /// from each replica in `expected`.
+  void BeginEpoch(uint64_t epoch, uint64_t version,
+                  std::vector<int32_t> expected);
+
+  /// Records one replica's report. Returns the divergences this report
+  /// newly confirmed (empty for repeat confirmations of known ones).
+  std::vector<Divergence> AddReport(ReplicaAuditReport report);
+
+  /// All divergences ever confirmed, in discovery order.
+  const std::vector<Divergence>& divergences() const { return divergences_; }
+
+  bool IsDiverged(int32_t replica) const;
+  /// First epoch at which `replica` was seen diverged; 0 if clean.
+  uint64_t FirstDivergentEpoch(int32_t replica) const;
+  /// Tables on which `replica` diverged, sorted.
+  std::vector<std::string> DivergedTables(int32_t replica) const;
+
+  /// Last-known audit state of `replica` (default-constructed if the
+  /// replica never reported).
+  ReplicaAuditState StateOf(int32_t replica) const;
+
+  uint64_t epochs_started() const { return epochs_started_; }
+  /// Epochs where at least two replicas captured at the same position.
+  uint64_t epochs_compared() const { return epochs_compared_; }
+  /// Completed epochs with no comparable pair (all capture positions
+  /// distinct) — skipped, never reported as divergence.
+  uint64_t epochs_unaligned() const { return epochs_unaligned_; }
+  uint64_t reports_received() const { return reports_received_; }
+
+ private:
+  struct PendingEpoch {
+    uint64_t version = 0;
+    std::vector<int32_t> expected;
+    std::vector<ReplicaAuditReport> reports;
+  };
+
+  /// Compares a completed epoch; returns newly confirmed divergences.
+  std::vector<Divergence> CompleteEpoch(uint64_t epoch, PendingEpoch pe);
+
+  std::map<uint64_t, PendingEpoch> pending_;
+  std::map<int32_t, ReplicaAuditState> replica_state_;
+  /// (replica, table) pairs already reported, for dedup.
+  std::map<std::pair<int32_t, std::string>, uint64_t> known_;
+  std::vector<Divergence> divergences_;
+  uint64_t epochs_started_ = 0;
+  uint64_t epochs_compared_ = 0;
+  uint64_t epochs_unaligned_ = 0;
+  uint64_t reports_received_ = 0;
+};
+
+}  // namespace replidb::audit
+
+#endif  // REPLIDB_AUDIT_AUDITOR_H_

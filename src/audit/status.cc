@@ -1,0 +1,110 @@
+#include "audit/status.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace replidb::audit {
+
+namespace {
+
+std::string U64(uint64_t v) { return std::to_string(v); }
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderReplicaStatus(const StatusSnapshot& snapshot) {
+  const std::vector<std::string> headers = {
+      "replica", "role",         "state",    "applied", "lag",
+      "backlog", "apply_errors", "digest_epoch", "diverged"};
+  std::vector<std::vector<std::string>> rows;
+  for (const ReplicaStatus& r : snapshot.replicas) {
+    std::string diverged = "no";
+    if (r.diverged) {
+      diverged = "YES [" + r.diverged_tables + " @ epoch " +
+                 U64(r.first_divergent_epoch) + "]";
+    }
+    rows.push_back({U64(static_cast<uint64_t>(r.id)), r.role, r.state,
+                    U64(r.applied_version), U64(r.lag_versions),
+                    U64(r.backlog), U64(r.apply_errors), U64(r.digest_epoch),
+                    diverged});
+  }
+
+  std::vector<size_t> widths(headers.size());
+  for (size_t i = 0; i < headers.size(); ++i) widths[i] = headers[i].size();
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t i = 0; i < row.size(); ++i) {
+      line += row[i];
+      if (i + 1 < row.size()) {
+        line.append(widths[i] - row[i].size() + 2, ' ');
+      }
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out;
+  out += "== SHOW REPLICA STATUS ==\n";
+  out += "mode: " + snapshot.mode + "   consistency: " + snapshot.consistency +
+         "   head version: " + U64(snapshot.head_version) + "\n";
+  out += emit_row(headers);
+  for (size_t i = 0; i < headers.size(); ++i) {
+    out.append(widths[i], '-');
+    if (i + 1 < headers.size()) out.append(2, ' ');
+  }
+  out += '\n';
+  for (const auto& row : rows) out += emit_row(row);
+  out += "audit: " + U64(snapshot.audit_epochs_compared) + "/" +
+         U64(snapshot.audit_epochs_started) + " epochs compared, " +
+         U64(snapshot.divergences_detected) + " divergence(s) detected\n";
+  return out;
+}
+
+std::string RenderStatusJson(const StatusSnapshot& snapshot) {
+  std::string out = "{";
+  out += "\"mode\":\"" + JsonEscape(snapshot.mode) + "\",";
+  out += "\"consistency\":\"" + JsonEscape(snapshot.consistency) + "\",";
+  out += "\"head_version\":" + U64(snapshot.head_version) + ",";
+  out += "\"audit\":{";
+  out += "\"epochs_started\":" + U64(snapshot.audit_epochs_started) + ",";
+  out += "\"epochs_compared\":" + U64(snapshot.audit_epochs_compared) + ",";
+  out += "\"divergences_detected\":" + U64(snapshot.divergences_detected);
+  out += "},\"replicas\":[";
+  for (size_t i = 0; i < snapshot.replicas.size(); ++i) {
+    const ReplicaStatus& r = snapshot.replicas[i];
+    if (i > 0) out += ",";
+    out += "{";
+    out += "\"id\":" + std::to_string(r.id) + ",";
+    out += "\"role\":\"" + JsonEscape(r.role) + "\",";
+    out += "\"state\":\"" + JsonEscape(r.state) + "\",";
+    out += "\"applied_version\":" + U64(r.applied_version) + ",";
+    out += "\"lag_versions\":" + U64(r.lag_versions) + ",";
+    out += "\"backlog\":" + U64(r.backlog) + ",";
+    out += "\"apply_errors\":" + U64(r.apply_errors) + ",";
+    out += "\"digest_epoch\":" + U64(r.digest_epoch) + ",";
+    out += std::string("\"diverged\":") + (r.diverged ? "true" : "false") +
+           ",";
+    out += "\"first_divergent_epoch\":" + U64(r.first_divergent_epoch) + ",";
+    out += "\"diverged_tables\":\"" + JsonEscape(r.diverged_tables) + "\"";
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace replidb::audit

@@ -1,0 +1,48 @@
+#ifndef REPLIDB_AUDIT_STATUS_H_
+#define REPLIDB_AUDIT_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace replidb::audit {
+
+/// \brief One row of the operator console: everything an operator would
+/// ask about a replica ("SHOW REPLICA STATUS").
+struct ReplicaStatus {
+  int32_t id = -1;
+  std::string role;   ///< "master" / "slave" / "replica" / "standby".
+  std::string state;  ///< "online" / "suspect" / "down" / "resyncing".
+  uint64_t applied_version = 0;  ///< Last applied global version.
+  uint64_t lag_versions = 0;     ///< Versions behind the cluster head.
+  uint64_t backlog = 0;          ///< Replication entries queued, unapplied.
+  uint64_t apply_errors = 0;
+  uint64_t digest_epoch = 0;  ///< Newest audit epoch this replica answered.
+  bool diverged = false;
+  uint64_t first_divergent_epoch = 0;  ///< 0 = clean.
+  std::string diverged_tables;         ///< Comma-joined, empty if clean.
+};
+
+/// \brief Point-in-time cluster introspection snapshot, built by the
+/// controller on demand (programmatic API for benches/tests; rendered as
+/// text for operators).
+struct StatusSnapshot {
+  std::string mode;         ///< Replication mode name.
+  std::string consistency;  ///< Consistency level name.
+  uint64_t head_version = 0;
+  uint64_t audit_epochs_started = 0;
+  uint64_t audit_epochs_compared = 0;
+  uint64_t divergences_detected = 0;
+  std::vector<ReplicaStatus> replicas;
+};
+
+/// Renders the snapshot as a MySQL-`SHOW REPLICA STATUS`-style aligned
+/// text table, one replica per row, with an audit summary line.
+std::string RenderReplicaStatus(const StatusSnapshot& snapshot);
+
+/// Renders the snapshot as a machine-readable JSON document.
+std::string RenderStatusJson(const StatusSnapshot& snapshot);
+
+}  // namespace replidb::audit
+
+#endif  // REPLIDB_AUDIT_STATUS_H_

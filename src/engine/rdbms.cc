@@ -1419,6 +1419,16 @@ uint64_t Rdbms::ContentHash() const {
   return h;
 }
 
+std::vector<std::pair<std::string, uint64_t>> Rdbms::TableDigests() const {
+  std::vector<std::pair<std::string, uint64_t>> out;
+  for (const auto& [db_name, database] : databases_) {
+    for (const auto& [tname, table] : database.tables) {
+      out.emplace_back(db_name + "." + tname, table->digest());
+    }
+  }
+  return out;
+}
+
 uint64_t Rdbms::ContentHashWithSequences() const {
   uint64_t h = ContentHash();
   for (const auto& [db_name, database] : databases_) {

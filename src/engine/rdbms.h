@@ -186,6 +186,13 @@ class Rdbms {
   /// diverges between replicas even when data matches (§4.2.3).
   uint64_t ContentHashWithSequences() const;
 
+  /// Incremental per-table digests of committed content, keyed
+  /// "database.table". O(#tables): the engine maintains each digest at
+  /// commit time, so the audit subsystem never scans (temp tables are
+  /// session-scoped and excluded by construction — they live on sessions,
+  /// not databases).
+  std::vector<std::pair<std::string, uint64_t>> TableDigests() const;
+
   // --- Administration --------------------------------------------------------
 
   void CreateUser(const std::string& user);

@@ -357,8 +357,18 @@ void VersionedTable::CommitTxn(TxnId txn, CommitSeq commit_seq,
     if (rit == rows_.end()) continue;
     auto& versions = rit->second.versions;
     for (Version& v : versions) {
-      if (v.creator == txn && v.created == 0) v.created = commit_seq;
-      if (v.deleter == txn && v.deleted == 0) v.deleted = commit_seq;
+      // Digest maintenance: a version enters the committed live set when
+      // its pending create commits without a pending delete, and leaves it
+      // when a pending delete on a previously committed version commits.
+      // Insert-then-delete inside one transaction nets to no change.
+      bool create_pending = (v.creator == txn && v.created == 0);
+      bool delete_pending = (v.deleter == txn && v.deleted == 0);
+      if (create_pending != delete_pending &&
+          (create_pending || v.created != 0)) {
+        digest_ ^= Mix64(sql::HashRow(v.data));
+      }
+      if (create_pending) v.created = commit_seq;
+      if (delete_pending) v.deleted = commit_seq;
     }
     // Inline vacuum: committed-dead versions below the horizon are
     // invisible to every live and future snapshot.

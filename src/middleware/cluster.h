@@ -54,6 +54,13 @@ class Cluster {
   /// Total apply-path errors across replicas (divergence indicator).
   uint64_t TotalApplyErrors() const;
 
+  /// Cluster introspection snapshot (controller view).
+  audit::StatusSnapshot StatusReport() const { return controller->StatusReport(); }
+  /// The snapshot rendered as a SHOW-REPLICA-STATUS-style text table.
+  std::string ShowReplicaStatus() const {
+    return audit::RenderReplicaStatus(StatusReport());
+  }
+
   ReplicaNode* replica(int index) { return replicas[static_cast<size_t>(index)].get(); }
   client::Driver* driver(int index = 0) { return drivers[static_cast<size_t>(index)].get(); }
 

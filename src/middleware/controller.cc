@@ -34,6 +34,9 @@ struct ControllerMetrics {
   obs::Counter* suspicion_clears;
   obs::Counter* resyncs_started;
   obs::Counter* resyncs_completed;
+  obs::Counter* audit_epochs;
+  obs::Counter* audit_reports;
+  obs::Counter* audit_divergence;
   obs::Gauge* pending_txns;
   obs::HistogramMetric* process_ms;
   obs::HistogramMetric* total_ms;
@@ -66,6 +69,9 @@ struct ControllerMetrics {
     suspicion_clears = r.GetCounter("middleware.detector.suspicions_cleared");
     resyncs_started = r.GetCounter("middleware.recovery.resyncs_started");
     resyncs_completed = r.GetCounter("middleware.recovery.resyncs_completed");
+    audit_epochs = r.GetCounter("audit.cluster.epochs_started");
+    audit_reports = r.GetCounter("audit.cluster.reports_received");
+    audit_divergence = r.GetCounter("audit.cluster.divergence_detected");
     pending_txns = r.GetGauge("middleware.controller.pending_txns");
     process_ms = r.GetHistogram("middleware.controller.process_ms");
     total_ms = r.GetHistogram("middleware.txn.total_ms");
@@ -128,6 +134,8 @@ Controller::Controller(sim::Simulator* sim, net::Network* network,
                   [this](const net::Message& m) { HandleFinishReply(m); });
   dispatcher_->On(kMsgProgress,
                   [this](const net::Message& m) { HandleProgress(m); });
+  dispatcher_->On(kMsgAuditReport,
+                  [this](const net::Message& m) { HandleAuditReport(m); });
   dispatcher_->On(kMsgBackupReply, [this](const net::Message& m) {
     auto body = std::any_cast<BackupReplyMsg>(m.body);
     auto it = backup_waiters_.find(body.req_id);
@@ -197,6 +205,7 @@ void Controller::Start() {
         if (!crashed_) AntiEntropySweep();
       });
   anti_entropy_->Start();
+  StartAuditTask();
 }
 
 void Controller::TakeOver() {
@@ -219,6 +228,104 @@ void Controller::TakeOver() {
         if (!crashed_) AntiEntropySweep();
       });
   anti_entropy_->Start();
+  StartAuditTask();
+}
+
+void Controller::StartAuditTask() {
+  if (options_.audit_interval <= 0 || audit_task_ != nullptr) return;
+  audit_task_ = std::make_unique<sim::PeriodicTask>(
+      sim_, options_.audit_interval, [this] {
+        if (!crashed_) RunAuditEpoch();
+      });
+  audit_task_->Start();
+}
+
+void Controller::RunAuditEpoch() {
+  std::vector<net::NodeId> online = OnlineReplicas();
+  if (online.size() < 2) return;  // Nothing to cross-check.
+  uint64_t epoch = ++audit_epoch_;
+  std::vector<int32_t> expected(online.begin(), online.end());
+  auditor_.BeginEpoch(epoch, global_version_, expected);
+  ControllerMetrics::Get().audit_epochs->Increment();
+  AuditBarrierMsg barrier;
+  barrier.epoch = epoch;
+  barrier.version = global_version_;
+  for (net::NodeId rid : online) {
+    dispatcher_->Send(rid, kMsgAuditBarrier, barrier, 64);
+  }
+}
+
+void Controller::HandleAuditReport(const net::Message& m) {
+  if (crashed_) return;
+  auto body = std::any_cast<AuditReportMsg>(m.body);
+  ControllerMetrics::Get().audit_reports->Increment();
+  audit::ReplicaAuditReport report;
+  report.replica = m.from;
+  report.epoch = body.epoch;
+  report.captured_version = body.captured_version;
+  report.last_applied_seq = body.last_applied_seq;
+  report.table_digests = std::move(body.digests);
+  std::vector<audit::Divergence> fresh = auditor_.AddReport(std::move(report));
+  for (const audit::Divergence& d : fresh) {
+    ControllerMetrics::Get().audit_divergence->Increment();
+    REPLIDB_LOG(Warn) << "audit: replica " << d.replica << " diverged on "
+                      << d.table << " (epoch " << d.epoch << ", version "
+                      << d.version << ", digest " << d.actual_digest
+                      << " != " << d.expected_digest << ")";
+    if (obs::TracingEnabled()) {
+      obs::Tracer::Global().Instant(
+          "controller." + std::to_string(id()),
+          "audit.divergence(" + d.table + "@" + std::to_string(d.replica) +
+              ")",
+          sim_->Now());
+    }
+  }
+}
+
+audit::StatusSnapshot Controller::StatusReport() const {
+  audit::StatusSnapshot snap;
+  snap.mode = ReplicationModeName(options_.mode);
+  snap.consistency = ConsistencyLevelName(options_.consistency);
+  snap.head_version = global_version_;
+  snap.audit_epochs_started = auditor_.epochs_started();
+  snap.audit_epochs_compared = auditor_.epochs_compared();
+  snap.divergences_detected = auditor_.divergences().size();
+  bool master_slave = options_.mode == ReplicationMode::kMasterSlaveAsync ||
+                      options_.mode == ReplicationMode::kMasterSlaveSync;
+  for (const auto& [rid, info] : replicas_) {
+    audit::ReplicaStatus rs;
+    rs.id = rid;
+    rs.role = master_slave ? (rid == master_ ? "master" : "slave") : "replica";
+    switch (info.state) {
+      case ReplicaState::kOnline:
+        rs.state = detector_->IsSuspect(rid) ? "suspect" : "online";
+        break;
+      case ReplicaState::kDown:
+        rs.state = "down";
+        break;
+      case ReplicaState::kResyncing:
+        rs.state = "resyncing";
+        break;
+    }
+    rs.applied_version =
+        std::max<GlobalVersion>(info.applied, info.node->applied_version());
+    rs.lag_versions = global_version_ > rs.applied_version
+                          ? global_version_ - rs.applied_version
+                          : 0;
+    rs.backlog = info.node->apply_backlog();
+    rs.apply_errors = info.node->apply_errors();
+    audit::ReplicaAuditState audit_state = auditor_.StateOf(rid);
+    rs.digest_epoch = audit_state.last_epoch;
+    rs.diverged = audit_state.diverged;
+    rs.first_divergent_epoch = audit_state.first_divergent_epoch;
+    std::vector<std::string> tables = auditor_.DivergedTables(rid);
+    for (size_t i = 0; i < tables.size(); ++i) {
+      if (i > 0) rs.diverged_tables += ",";
+      rs.diverged_tables += tables[i];
+    }
+    snap.replicas.push_back(std::move(rs));
+  }
+  return snap;
 }
 
 void Controller::MirrorAppend(const ReplicationEntry& entry) {

@@ -8,6 +8,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "audit/auditor.h"
+#include "audit/status.h"
 #include "common/rng.h"
 #include "middleware/messages.h"
 #include "obs/metrics.h"
@@ -75,6 +77,15 @@ struct ControllerOptions {
 
   /// Heartbeat failure-detection settings for replica monitoring.
   net::HeartbeatOptions heartbeat;
+
+  /// Online content auditing (0 = disabled). Every interval the controller
+  /// opens an audit epoch: it injects an audit barrier at the current head
+  /// version, each online replica reports its per-table digests when its
+  /// replication stream passes the barrier, and the DivergenceAuditor
+  /// compares them — catching statement-replication divergence while the
+  /// cluster serves traffic (the C5-style continuous validation the paper
+  /// era lacked).
+  sim::Duration audit_interval = 0;
 
   /// Whether reads may run on the master too (usually true; false models
   /// a dedicated-master configuration).
@@ -200,6 +211,14 @@ class Controller {
   /// Highest staleness (versions behind head) served to any read so far.
   uint64_t max_read_staleness() const { return max_read_staleness_; }
 
+  /// The online divergence auditor (populated when audit_interval > 0).
+  const audit::DivergenceAuditor& auditor() const { return auditor_; }
+
+  /// Builds a point-in-time introspection snapshot: per-replica role,
+  /// health, applied version, lag, backlog, and audit state. Render with
+  /// audit::RenderReplicaStatus / RenderStatusJson.
+  audit::StatusSnapshot StatusReport() const;
+
  private:
   struct ReplicaInfo {
     ReplicaNode* node = nullptr;
@@ -267,6 +286,10 @@ class Controller {
   void OnTimeout(uint64_t req_id);
 
   void OnReplicaSuspicion(net::NodeId replica, bool suspect);
+  /// Opens one audit epoch: barrier broadcast to every online replica.
+  void RunAuditEpoch();
+  void StartAuditTask();
+  void HandleAuditReport(const net::Message& m);
   /// Standby: the active controller stopped answering — take over.
   void TakeOver();
   /// Active: push durable state to the standby; returns the mirror seq.
@@ -306,6 +329,9 @@ class Controller {
   std::unique_ptr<net::HeartbeatDetector> detector_;
   std::unique_ptr<net::HeartbeatResponder> hb_responder_;
   std::unique_ptr<sim::PeriodicTask> anti_entropy_;
+  std::unique_ptr<sim::PeriodicTask> audit_task_;
+  audit::DivergenceAuditor auditor_;
+  uint64_t audit_epoch_ = 0;
 
   RecoveryLog recovery_log_;
   /// writeset key -> last version that wrote it (certification window).

@@ -28,6 +28,8 @@ inline constexpr char kMsgBackup[] = "rep.backup";
 inline constexpr char kMsgBackupReply[] = "rep.backup.r";
 inline constexpr char kMsgRestore[] = "rep.restore";
 inline constexpr char kMsgRestoreReply[] = "rep.restore.r";
+inline constexpr char kMsgAuditBarrier[] = "audit.barrier";
+inline constexpr char kMsgAuditReport[] = "audit.report";
 
 /// Controller -> replica: execute a transaction.
 struct ExecTxnMsg {
@@ -157,6 +159,25 @@ struct RestoreMsg {
 struct RestoreReplyMsg {
   uint64_t req_id = 0;
   Status status;
+};
+
+/// Controller -> replica: content-audit barrier for `epoch`. The replica
+/// answers once its replication stream reaches `version`.
+struct AuditBarrierMsg {
+  uint64_t epoch = 0;
+  GlobalVersion version = 0;
+};
+
+/// Replica -> controller: per-table incremental digests captured when the
+/// barrier passed. `captured_version` is the replica's actual stream
+/// position at capture — it can exceed the barrier version if the replica
+/// was already ahead, and the auditor only compares equal positions.
+struct AuditReportMsg {
+  uint64_t epoch = 0;
+  GlobalVersion captured_version = 0;
+  engine::CommitSeq last_applied_seq = 0;
+  /// "database.table" -> digest.
+  std::vector<std::pair<std::string, uint64_t>> digests;
 };
 
 }  // namespace replidb::middleware

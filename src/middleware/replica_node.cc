@@ -111,6 +111,16 @@ ReplicaNode::ReplicaNode(sim::Simulator* sim, net::Network* network,
   });
   dispatcher_->On(kMsgBackup, [this](const net::Message& m) { HandleBackup(m); });
   dispatcher_->On(kMsgRestore, [this](const net::Message& m) { HandleRestore(m); });
+  dispatcher_->On(kMsgAuditBarrier, [this](const net::Message& m) {
+    if (crashed_) return;
+    auto msg = std::any_cast<AuditBarrierMsg>(m.body);
+    if (engine_applied_ >= msg.version) {
+      SendAuditReport(msg.epoch, m.from);
+    } else {
+      pending_audits_.emplace(msg.version,
+                              std::make_pair(msg.epoch, m.from));
+    }
+  });
 
   ship_task_ = std::make_unique<sim::PeriodicTask>(
       sim_, options_.ship_interval, [this] {
@@ -163,6 +173,7 @@ void ReplicaNode::Crash() {
   ordered_exec_.clear();
   ordered_finish_.clear();
   waiting_reads_.clear();
+  pending_audits_.clear();
   backlog_gauge_->Set(0);
   // The durable position after a crash is the larger of:
   //  - engine_applied_: the replication-stream slot reached (slots consumed
@@ -230,6 +241,8 @@ void ReplicaNode::StartUnorderedExec(const ExecTxnMsg& msg, net::NodeId from) {
   reply.req_id = msg.req_id;
   sim::TimePoint arrival = sim_->Now();
   RunTransaction(msg, from, &reply);
+  // A master commit advances engine_applied_ without the ordered stream.
+  if (!pending_audits_.empty()) CheckAuditBarriers();
   int64_t cost = TouchCache(msg.tables, reply.cost_us);
   sim::TimePoint start = arrival;
   sim::TimePoint done = ChargeWorker(cost, &start);
@@ -563,6 +576,10 @@ void ReplicaNode::DrainOrderedBuffer() {
       }
     }
 
+    // The engine now holds exactly the effects of versions <= v: fire any
+    // audit barrier this version satisfies before draining further.
+    if (!pending_audits_.empty()) CheckAuditBarriers();
+
     // --- Timing model ---
     sim::TimePoint now = sim_->Now();
     sim::TimePoint arrival = now;
@@ -690,6 +707,25 @@ void ReplicaNode::ShipCommitted(int sync_acks_for_version,
   }
 }
 
+void ReplicaNode::CheckAuditBarriers() {
+  while (!pending_audits_.empty() &&
+         pending_audits_.begin()->first <= engine_applied_) {
+    auto it = pending_audits_.begin();
+    SendAuditReport(it->second.first, it->second.second);
+    pending_audits_.erase(it);
+  }
+}
+
+void ReplicaNode::SendAuditReport(uint64_t audit_epoch, net::NodeId to) {
+  AuditReportMsg report;
+  report.epoch = audit_epoch;
+  report.captured_version = engine_applied_;
+  report.last_applied_seq = engine_->last_commit_seq();
+  report.digests = engine_->TableDigests();
+  dispatcher_->Send(to, kMsgAuditReport, report,
+                    static_cast<int64_t>(64 + 24 * report.digests.size()));
+}
+
 void ReplicaNode::SendProgress() {
   if (controller_ >= 0) {
     dispatcher_->Send(controller_, kMsgProgress,
@@ -793,6 +829,7 @@ void ReplicaNode::HandleRestore(const net::Message& m) {
     engine_applied_ = msg.as_of_version;
     binlog_shipped_index_ = 0;
     last_shipped_ = msg.as_of_version;
+    if (!pending_audits_.empty()) CheckAuditBarriers();
   }
   int64_t cost = static_cast<int64_t>(
       static_cast<double>(msg.image.SizeBytes()) /

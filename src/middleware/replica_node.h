@@ -151,6 +151,13 @@ class ReplicaNode {
   void ShipCommitted(int sync_acks_for_version = 0,
                      GlobalVersion sync_version = 0);
 
+  /// Fires pending audit barriers the engine has reached. Called at every
+  /// point engine_applied_ advances, so digests are captured synchronously
+  /// at the exact stream position the barrier names (the engine may hold
+  /// later versions by the time the timed completion runs).
+  void CheckAuditBarriers();
+  void SendAuditReport(uint64_t audit_epoch, net::NodeId to);
+
   void SendProgress();
 
   int64_t ApplyCost(const ReplicationEntry& entry) const;
@@ -203,6 +210,10 @@ class ReplicaNode {
 
   // Freshness-gated reads waiting for applied_version_ >= min_version.
   std::vector<std::pair<ExecTxnMsg, net::NodeId>> waiting_reads_;
+
+  // Audit barriers not yet reached: barrier version -> (epoch, reply-to).
+  std::multimap<GlobalVersion, std::pair<uint64_t, net::NodeId>>
+      pending_audits_;
 
   // Hot-table LRU (memory-aware LB experiment). Front = most recent.
   std::vector<std::string> hot_tables_;

@@ -12,7 +12,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(const std::string& name,
-                                                      Kind kind) {
+                                                      MetricKind kind) {
   auto it = metrics_.find(name);
   if (it != metrics_.end()) {
     REPLIDB_CHECK(it->second.kind == kind,
@@ -22,13 +22,13 @@ MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(const std::string& name,
   Entry entry;
   entry.kind = kind;
   switch (kind) {
-    case Kind::kCounter:
+    case MetricKind::kCounter:
       entry.counter = std::make_unique<Counter>();
       break;
-    case Kind::kGauge:
+    case MetricKind::kGauge:
       entry.gauge = std::make_unique<Gauge>();
       break;
-    case Kind::kHistogram:
+    case MetricKind::kHistogram:
       entry.histogram = std::make_unique<HistogramMetric>();
       break;
   }
@@ -37,37 +37,37 @@ MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(const std::string& name,
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  return FindOrCreate(name, Kind::kCounter)->counter.get();
+  return FindOrCreate(name, MetricKind::kCounter)->counter.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  return FindOrCreate(name, Kind::kGauge)->gauge.get();
+  return FindOrCreate(name, MetricKind::kGauge)->gauge.get();
 }
 
 HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  return FindOrCreate(name, Kind::kHistogram)->histogram.get();
+  return FindOrCreate(name, MetricKind::kHistogram)->histogram.get();
 }
 
 const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = metrics_.find(name);
-  if (it == metrics_.end() || it->second.kind != Kind::kCounter) return nullptr;
+  if (it == metrics_.end() || it->second.kind != MetricKind::kCounter) return nullptr;
   return it->second.counter.get();
 }
 
 const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = metrics_.find(name);
-  if (it == metrics_.end() || it->second.kind != Kind::kGauge) return nullptr;
+  if (it == metrics_.end() || it->second.kind != MetricKind::kGauge) return nullptr;
   return it->second.gauge.get();
 }
 
 Histogram MetricsRegistry::HistogramCopy(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = metrics_.find(name);
-  if (it == metrics_.end() || it->second.kind != Kind::kHistogram) return {};
+  if (it == metrics_.end() || it->second.kind != MetricKind::kHistogram) return {};
   return it->second.histogram->Snapshot();
 }
 
@@ -78,17 +78,15 @@ std::vector<MetricSample> MetricsRegistry::Snapshot() const {
   for (const auto& [name, entry] : metrics_) {
     MetricSample s;
     s.name = name;
+    s.kind = entry.kind;
     switch (entry.kind) {
-      case Kind::kCounter:
-        s.kind = MetricKind::kCounter;
+      case MetricKind::kCounter:
         s.counter = entry.counter->value();
         break;
-      case Kind::kGauge:
-        s.kind = MetricKind::kGauge;
+      case MetricKind::kGauge:
         s.gauge = entry.gauge->value();
         break;
-      case Kind::kHistogram:
-        s.kind = MetricKind::kHistogram;
+      case MetricKind::kHistogram:
         s.histogram = entry.histogram->Snapshot();
         break;
     }
@@ -121,18 +119,95 @@ std::string MetricsRegistry::DumpText() const {
   return out;
 }
 
+namespace {
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.
+std::string PromName(const std::string& name) {
+  std::string out = "replidb_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::DumpPrometheus() const {
+  std::string out;
+  for (const MetricSample& s : Snapshot()) {
+    std::string name = PromName(s.name);
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + " " + std::to_string(s.counter) + "\n";
+        break;
+      case MetricKind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + std::to_string(s.gauge) + "\n";
+        break;
+      case MetricKind::kHistogram:
+        out += "# TYPE " + name + " summary\n";
+        out += name + "{quantile=\"0.5\"} " + Num(s.histogram.Median()) + "\n";
+        out += name + "{quantile=\"0.95\"} " + Num(s.histogram.P95()) + "\n";
+        out += name + "{quantile=\"0.99\"} " + Num(s.histogram.P99()) + "\n";
+        out += name + "_sum " + Num(s.histogram.sum()) + "\n";
+        out += name + "_count " + std::to_string(s.histogram.count()) + "\n";
+        break;
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::DumpJson() const {
+  std::string out = "[";
+  bool first = true;
+  for (const MetricSample& s : Snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + s.name + "\",";
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        out += "\"kind\":\"counter\",\"value\":" + std::to_string(s.counter);
+        break;
+      case MetricKind::kGauge:
+        out += "\"kind\":\"gauge\",\"value\":" + std::to_string(s.gauge);
+        break;
+      case MetricKind::kHistogram:
+        out += "\"kind\":\"histogram\",\"count\":" +
+               std::to_string(s.histogram.count()) +
+               ",\"mean\":" + Num(s.histogram.Mean()) +
+               ",\"p50\":" + Num(s.histogram.Median()) +
+               ",\"p95\":" + Num(s.histogram.P95()) +
+               ",\"p99\":" + Num(s.histogram.P99()) +
+               ",\"max\":" + Num(s.histogram.Max());
+        break;
+    }
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
 void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, entry] : metrics_) {
     (void)name;
     switch (entry.kind) {
-      case Kind::kCounter:
+      case MetricKind::kCounter:
         entry.counter->Reset();
         break;
-      case Kind::kGauge:
+      case MetricKind::kGauge:
         entry.gauge->Reset();
         break;
-      case Kind::kHistogram:
+      case MetricKind::kHistogram:
         entry.histogram->Reset();
         break;
     }

@@ -113,21 +113,29 @@ class MetricsRegistry {
   /// Human-readable dump of every metric (one per line).
   std::string DumpText() const;
 
+  /// Prometheus text-exposition dump: names sanitized to
+  /// [a-zA-Z0-9_:] with a `replidb_` prefix, `# TYPE` comments, and
+  /// histograms rendered as summaries (quantiles + _sum + _count).
+  std::string DumpPrometheus() const;
+
+  /// Machine-readable JSON dump: an array of
+  /// {"name", "kind", "value"|"histogram"} objects.
+  std::string DumpJson() const;
+
   /// Zeroes all values. Registrations (and handed-out pointers) survive.
   void Reset();
 
   size_t size() const;
 
  private:
-  enum class Kind { kCounter, kGauge, kHistogram };
   struct Entry {
-    Kind kind;
+    MetricKind kind;
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<HistogramMetric> histogram;
   };
 
-  Entry* FindOrCreate(const std::string& name, Kind kind);
+  Entry* FindOrCreate(const std::string& name, MetricKind kind);
 
   mutable std::mutex mu_;
   std::map<std::string, Entry> metrics_;

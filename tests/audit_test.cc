@@ -1,0 +1,385 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "audit/auditor.h"
+#include "audit/status.h"
+#include "engine/rdbms.h"
+#include "middleware/cluster.h"
+#include "obs/metrics.h"
+#include "workload/load_generator.h"
+#include "workload/workloads.h"
+
+namespace replidb::audit {
+namespace {
+
+using middleware::Cluster;
+using middleware::ClusterOptions;
+using middleware::NonDeterminismPolicy;
+using middleware::ReplicationMode;
+using sim::kMillisecond;
+using sim::kSecond;
+
+// --- Incremental table digests (engine layer) --------------------------------
+
+uint64_t DigestOf(const engine::Rdbms& db, const std::string& table) {
+  for (const auto& [name, digest] : db.TableDigests()) {
+    if (name == table) return digest;
+  }
+  ADD_FAILURE() << "no digest for table " << table;
+  return 0;
+}
+
+class DigestTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<engine::Rdbms>(engine::RdbmsOptions{});
+    session_ = db_->Connect().value();
+    Must("CREATE TABLE t (id INT PRIMARY KEY, v INT)");
+  }
+  void Must(const std::string& sql) {
+    engine::ExecResult r = db_->Execute(session_, sql);
+    ASSERT_TRUE(r.ok()) << sql << " -> " << r.status.ToString();
+  }
+  std::unique_ptr<engine::Rdbms> db_;
+  engine::SessionId session_ = 0;
+};
+
+TEST_F(DigestTest, InsertThenDeleteReturnsToBaseline) {
+  uint64_t empty = DigestOf(*db_, "main.t");
+  Must("INSERT INTO t VALUES (1, 10)");
+  uint64_t with_row = DigestOf(*db_, "main.t");
+  EXPECT_NE(with_row, empty) << "committed insert must change the digest";
+  Must("DELETE FROM t WHERE id = 1");
+  EXPECT_EQ(DigestOf(*db_, "main.t"), empty)
+      << "deleting the only row must restore the empty-table digest";
+}
+
+TEST_F(DigestTest, UpdateAndUpdateBackRoundTrips) {
+  Must("INSERT INTO t VALUES (1, 10), (2, 20)");
+  uint64_t before = DigestOf(*db_, "main.t");
+  Must("UPDATE t SET v = 99 WHERE id = 1");
+  EXPECT_NE(DigestOf(*db_, "main.t"), before);
+  Must("UPDATE t SET v = 10 WHERE id = 1");
+  EXPECT_EQ(DigestOf(*db_, "main.t"), before)
+      << "restoring the row value must restore the digest";
+}
+
+TEST_F(DigestTest, InsertAndDeleteInOneTransactionIsNeutral) {
+  Must("INSERT INTO t VALUES (1, 10)");
+  uint64_t before = DigestOf(*db_, "main.t");
+  Must("BEGIN");
+  Must("INSERT INTO t VALUES (2, 20)");
+  Must("DELETE FROM t WHERE id = 2");
+  Must("COMMIT");
+  EXPECT_EQ(DigestOf(*db_, "main.t"), before)
+      << "a row created and deleted inside one txn must not touch the digest";
+}
+
+TEST_F(DigestTest, RolledBackWorkIsNeutral) {
+  Must("INSERT INTO t VALUES (1, 10)");
+  uint64_t before = DigestOf(*db_, "main.t");
+  Must("BEGIN");
+  Must("INSERT INTO t VALUES (2, 20)");
+  Must("UPDATE t SET v = 0 WHERE id = 1");
+  Must("ROLLBACK");
+  EXPECT_EQ(DigestOf(*db_, "main.t"), before);
+}
+
+TEST(DigestCrossEngineTest, OrderAndSeedIndependent) {
+  // Two engines with different physical/RAND seeds and different statement
+  // orders: equal committed content must mean equal digests (the property
+  // the auditor's comparison rests on).
+  engine::RdbmsOptions a_opts, b_opts;
+  a_opts.name = "a";
+  a_opts.physical_seed = 1;
+  a_opts.rand_seed = 11;
+  b_opts.name = "b";
+  b_opts.physical_seed = 2;
+  b_opts.rand_seed = 22;
+  engine::Rdbms a(a_opts), b(b_opts);
+  engine::SessionId sa = a.Connect().value(), sb = b.Connect().value();
+  for (engine::Rdbms* db : {&a, &b}) {
+    engine::SessionId s = db == &a ? sa : sb;
+    ASSERT_TRUE(db->Execute(s, "CREATE TABLE t (id INT PRIMARY KEY, v INT)").ok());
+  }
+  // Same rows, inserted in opposite orders with different interleaving.
+  ASSERT_TRUE(a.Execute(sa, "INSERT INTO t VALUES (1, 10), (2, 20)").ok());
+  ASSERT_TRUE(a.Execute(sa, "INSERT INTO t VALUES (3, 30)").ok());
+  ASSERT_TRUE(b.Execute(sb, "INSERT INTO t VALUES (3, 30)").ok());
+  ASSERT_TRUE(b.Execute(sb, "INSERT INTO t VALUES (2, 20), (1, 10)").ok());
+  EXPECT_EQ(DigestOf(a, "main.t"), DigestOf(b, "main.t"));
+  // Diverge one value: digests must split.
+  ASSERT_TRUE(b.Execute(sb, "UPDATE t SET v = 31 WHERE id = 3").ok());
+  EXPECT_NE(DigestOf(a, "main.t"), DigestOf(b, "main.t"));
+}
+
+// --- DivergenceAuditor (pure logic) ------------------------------------------
+
+ReplicaAuditReport Report(int32_t replica, uint64_t epoch, uint64_t version,
+                          uint64_t digest) {
+  ReplicaAuditReport r;
+  r.replica = replica;
+  r.epoch = epoch;
+  r.captured_version = version;
+  r.table_digests = {{"main.t", digest}};
+  return r;
+}
+
+TEST(AuditorTest, MajorityVoteFlagsTheMinorityReplica) {
+  DivergenceAuditor auditor;
+  auditor.BeginEpoch(1, 10, {1, 2, 3});
+  EXPECT_TRUE(auditor.AddReport(Report(1, 1, 10, 0xAAAA)).empty());
+  EXPECT_TRUE(auditor.AddReport(Report(2, 1, 10, 0xAAAA)).empty());
+  std::vector<Divergence> fresh = auditor.AddReport(Report(3, 1, 10, 0xBBBB));
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0].replica, 3);
+  EXPECT_EQ(fresh[0].table, "main.t");
+  EXPECT_EQ(fresh[0].epoch, 1u);
+  EXPECT_EQ(fresh[0].expected_digest, 0xAAAAu);
+  EXPECT_EQ(fresh[0].actual_digest, 0xBBBBu);
+  EXPECT_TRUE(auditor.IsDiverged(3));
+  EXPECT_FALSE(auditor.IsDiverged(1));
+  EXPECT_EQ(auditor.epochs_compared(), 1u);
+}
+
+TEST(AuditorTest, RepeatMismatchIsDedupedAndFirstEpochIsStable) {
+  DivergenceAuditor auditor;
+  for (uint64_t epoch = 1; epoch <= 3; ++epoch) {
+    auditor.BeginEpoch(epoch, epoch * 10, {1, 2, 3});
+    auditor.AddReport(Report(1, epoch, epoch * 10, 0xAAAA));
+    auditor.AddReport(Report(2, epoch, epoch * 10, 0xAAAA));
+    auditor.AddReport(Report(3, epoch, epoch * 10, 0xBBBB));
+  }
+  EXPECT_EQ(auditor.divergences().size(), 1u)
+      << "the same (replica, table) mismatch must be reported once";
+  EXPECT_EQ(auditor.FirstDivergentEpoch(3), 1u);
+  EXPECT_EQ(auditor.DivergedTables(3),
+            (std::vector<std::string>{"main.t"}));
+}
+
+TEST(AuditorTest, UnalignedCapturesAreSkippedNotFlagged) {
+  DivergenceAuditor auditor;
+  auditor.BeginEpoch(1, 10, {1, 2, 3});
+  // All three replicas captured at different stream positions (e.g. a
+  // master racing ahead of the barrier): nothing is comparable.
+  auditor.AddReport(Report(1, 1, 10, 0xAAAA));
+  auditor.AddReport(Report(2, 1, 11, 0xBBBB));
+  auditor.AddReport(Report(3, 1, 12, 0xCCCC));
+  EXPECT_TRUE(auditor.divergences().empty());
+  EXPECT_EQ(auditor.epochs_compared(), 0u);
+  EXPECT_EQ(auditor.epochs_unaligned(), 1u);
+}
+
+TEST(AuditorTest, PartialAlignmentComparesTheAlignedPair) {
+  DivergenceAuditor auditor;
+  auditor.BeginEpoch(1, 10, {1, 2, 3});
+  auditor.AddReport(Report(1, 1, 10, 0xAAAA));
+  auditor.AddReport(Report(2, 1, 10, 0xDDDD));  // Aligned with 1, differs.
+  auditor.AddReport(Report(3, 1, 13, 0xEEEE));  // Ahead; not comparable.
+  // Two-way tie: the lower replica id is canonical, so 2 is flagged.
+  ASSERT_EQ(auditor.divergences().size(), 1u);
+  EXPECT_EQ(auditor.divergences()[0].replica, 2);
+  EXPECT_FALSE(auditor.IsDiverged(3));
+}
+
+TEST(AuditorTest, MissingTableCountsAsEmptyDigest) {
+  DivergenceAuditor auditor;
+  auditor.BeginEpoch(1, 10, {1, 2});
+  ReplicaAuditReport missing;
+  missing.replica = 2;
+  missing.epoch = 1;
+  missing.captured_version = 10;  // Reports no tables at all.
+  auditor.AddReport(Report(1, 1, 10, 0xAAAA));
+  auditor.AddReport(missing);
+  ASSERT_EQ(auditor.divergences().size(), 1u);
+  EXPECT_EQ(auditor.divergences()[0].table, "main.t");
+}
+
+// --- End-to-end: barriers + digests through a live cluster -------------------
+
+/// Deterministic point-update workload for the false-positive soak.
+class CleanWorkload : public workload::Workload {
+ public:
+  std::vector<std::string> SetupStatements() const override {
+    std::vector<std::string> out = {
+        "CREATE TABLE accounts (id INT PRIMARY KEY, balance INT)"};
+    std::string batch = "INSERT INTO accounts VALUES ";
+    for (int i = 0; i < 100; ++i) {
+      if (i) batch += ", ";
+      batch += "(" + std::to_string(i) + ", 100)";
+    }
+    out.push_back(batch);
+    return out;
+  }
+  middleware::TxnRequest Next(Rng* rng) override {
+    middleware::TxnRequest req;
+    req.read_only = false;
+    req.statements.push_back(
+        "UPDATE accounts SET balance = balance + 1 WHERE id = " +
+        std::to_string(rng->UniformRange(0, 99)));
+    return req;
+  }
+};
+
+/// CleanWorkload plus occasional per-row RAND() updates.
+class RandWorkload : public CleanWorkload {
+ public:
+  middleware::TxnRequest Next(Rng* rng) override {
+    if (rng->UniformRange(0, 4) == 0) {
+      middleware::TxnRequest req;
+      req.read_only = false;
+      req.statements.push_back("UPDATE accounts SET balance = RAND() WHERE id = " +
+                               std::to_string(rng->UniformRange(0, 99)));
+      return req;
+    }
+    return CleanWorkload::Next(rng);
+  }
+};
+
+std::unique_ptr<Cluster> MakeAuditedCluster(ReplicationMode mode,
+                                            workload::Workload* w,
+                                            sim::Duration interval,
+                                            NonDeterminismPolicy policy =
+                                                NonDeterminismPolicy::kRefuse,
+                                            uint64_t seed = 1234) {
+  ClusterOptions opts;
+  opts.replicas = 3;
+  opts.controller.mode = mode;
+  opts.controller.nondeterminism = policy;
+  opts.controller.audit_interval = interval;
+  opts.controller.seed = seed;
+  auto c = std::make_unique<Cluster>(std::move(opts));
+  c->Setup(w->SetupStatements());
+  c->Start();
+  return c;
+}
+
+TEST(ClusterAuditTest, NoFalsePositivesOverManyWritesetEpochs) {
+  // 100+ audit epochs under randomized concurrent load in writeset mode:
+  // every compared epoch must be clean. Two seeds to randomize schedules.
+  for (uint64_t seed : {7u, 41u}) {
+    CleanWorkload w;
+    auto c = MakeAuditedCluster(ReplicationMode::kMultiMasterCertification,
+                                &w, 50 * kMillisecond,
+                                NonDeterminismPolicy::kRefuse, seed);
+    workload::ClosedLoopGenerator gen(&c->sim, c->driver(), &w, /*clients=*/8,
+                                      /*think=*/0, seed);
+    gen.Run(6 * kSecond);
+    c->sim.RunFor(kSecond);  // Drain so the tail epochs align.
+    const DivergenceAuditor& auditor = c->controller->auditor();
+    EXPECT_GE(auditor.epochs_started(), 100u);
+    EXPECT_GT(auditor.epochs_compared(), 0u);
+    EXPECT_TRUE(auditor.divergences().empty())
+        << "seed " << seed << ": writeset replication audited divergent";
+    EXPECT_TRUE(c->Converged());
+  }
+}
+
+TEST(ClusterAuditTest, BarrierReportsAlignUnderLoad) {
+  // While traffic is flowing, completed epochs either compare at least two
+  // replicas at an identical stream position or are counted unaligned —
+  // they are never silently dropped.
+  CleanWorkload w;
+  auto c = MakeAuditedCluster(ReplicationMode::kMasterSlaveAsync, &w,
+                              100 * kMillisecond);
+  workload::ClosedLoopGenerator gen(&c->sim, c->driver(), &w, 8, 0, 7);
+  gen.Run(4 * kSecond);
+  c->sim.RunFor(kSecond);
+  const DivergenceAuditor& auditor = c->controller->auditor();
+  EXPECT_GT(auditor.reports_received(), 0u);
+  EXPECT_GT(auditor.epochs_compared(), 0u);
+  EXPECT_GE(auditor.epochs_started(),
+            auditor.epochs_compared() + auditor.epochs_unaligned());
+  EXPECT_TRUE(auditor.divergences().empty());
+}
+
+TEST(ClusterAuditTest, CatchesStatementModeRandDivergenceOnline) {
+  uint64_t detected_before = 0;
+  if (const obs::Counter* counter = obs::MetricsRegistry::Global().FindCounter(
+          "audit.cluster.divergence_detected")) {
+    detected_before = counter->value();
+  }
+  RandWorkload w;
+  auto c = MakeAuditedCluster(ReplicationMode::kMultiMasterStatement, &w,
+                              100 * kMillisecond,
+                              NonDeterminismPolicy::kBroadcastAnyway);
+  workload::ClosedLoopGenerator gen(&c->sim, c->driver(), &w, 8, 0, 7);
+  gen.Run(4 * kSecond);
+  c->sim.RunFor(kSecond);
+  const DivergenceAuditor& auditor = c->controller->auditor();
+  ASSERT_FALSE(auditor.divergences().empty())
+      << "per-row RAND() broadcast must be caught by the online audit";
+  const Divergence& d = auditor.divergences().front();
+  EXPECT_EQ(d.table, "main.accounts");
+  EXPECT_GT(d.replica, 0);
+  EXPECT_GT(d.epoch, 0u);
+  EXPECT_TRUE(auditor.IsDiverged(d.replica));
+  EXPECT_EQ(auditor.FirstDivergentEpoch(d.replica), d.epoch);
+  const obs::Counter* counter = obs::MetricsRegistry::Global().FindCounter(
+      "audit.cluster.divergence_detected");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_GT(counter->value(), detected_before);
+}
+
+// --- Status console ----------------------------------------------------------
+
+TEST(StatusConsoleTest, SnapshotAndRenderings) {
+  CleanWorkload w;
+  auto c = MakeAuditedCluster(ReplicationMode::kMasterSlaveAsync, &w,
+                              100 * kMillisecond);
+  workload::ClosedLoopGenerator gen(&c->sim, c->driver(), &w, 4, 0, 7);
+  gen.Run(2 * kSecond);
+  c->sim.RunFor(kSecond);
+
+  StatusSnapshot snap = c->StatusReport();
+  ASSERT_EQ(snap.replicas.size(), 3u);
+  EXPECT_EQ(snap.replicas[0].role, "master");
+  EXPECT_EQ(snap.replicas[1].role, "slave");
+  EXPECT_GT(snap.head_version, 0u);
+  EXPECT_GT(snap.audit_epochs_started, 0u);
+  EXPECT_EQ(snap.divergences_detected, 0u);
+  for (const ReplicaStatus& r : snap.replicas) {
+    EXPECT_EQ(r.state, "online");
+    EXPECT_FALSE(r.diverged);
+    EXPECT_GT(r.digest_epoch, 0u);
+  }
+
+  std::string text = c->ShowReplicaStatus();
+  EXPECT_NE(text.find("SHOW REPLICA STATUS"), std::string::npos);
+  EXPECT_NE(text.find("master"), std::string::npos);
+  EXPECT_NE(text.find("divergence(s) detected"), std::string::npos);
+
+  std::string json = RenderStatusJson(snap);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"replicas\":"), std::string::npos);
+  EXPECT_NE(json.find("\"head_version\":"), std::string::npos);
+}
+
+TEST(StatusConsoleTest, DivergedReplicaIsVisibleInTheTable) {
+  StatusSnapshot snap;
+  snap.mode = "multi-master-statement";
+  snap.consistency = "session-pcsi";
+  snap.head_version = 42;
+  snap.audit_epochs_started = 5;
+  snap.audit_epochs_compared = 4;
+  snap.divergences_detected = 1;
+  ReplicaStatus bad;
+  bad.id = 2;
+  bad.role = "replica";
+  bad.state = "online";
+  bad.diverged = true;
+  bad.first_divergent_epoch = 3;
+  bad.diverged_tables = "main.t";
+  snap.replicas.push_back(bad);
+  std::string text = RenderReplicaStatus(snap);
+  EXPECT_NE(text.find("YES"), std::string::npos);
+  EXPECT_NE(text.find("main.t"), std::string::npos);
+  EXPECT_NE(text.find("epoch 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace replidb::audit

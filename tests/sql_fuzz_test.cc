@@ -227,5 +227,67 @@ TEST_P(SqlFuzzTest, TwoEnginesReplayingSameStreamConverge) {
       << "same statement stream, different physical seeds: must converge";
 }
 
+TEST_P(SqlFuzzTest, AnalyzerFlagsEveryDivergingStatement) {
+  // The audit subsystem's contract seen from the analyzer's side: any
+  // statement that actually diverges two replicas under statement
+  // replication must have been flagged unsafe by Analyze() — there is no
+  // class of divergence the online auditor can catch that the static
+  // analyzer silently calls safe. Engines differ in both physical layout
+  // and RAND() seed, and the stream mixes generator output with the two
+  // known-unsafe shapes (per-row RAND(), unordered LIMIT subquery).
+  engine::RdbmsOptions o1, o2;
+  o1.physical_seed = 111;
+  o1.rand_seed = 1111;
+  o2.physical_seed = 222;
+  o2.rand_seed = 2222;
+  engine::Rdbms db1(o1), db2(o2);
+  engine::SessionId s1 = db1.Connect().value();
+  engine::SessionId s2 = db2.Connect().value();
+  const char* schema =
+      "CREATE TABLE t (id INT PRIMARY KEY, a INT, b DOUBLE, c INT)";
+  db1.Execute(s1, schema);
+  db2.Execute(s2, schema);
+  for (int i = 0; i < 50; ++i) {
+    std::string row = "INSERT INTO t VALUES (" + std::to_string(i) +
+                      ", 1, 2.0, " + std::to_string(i % 10) + ")";
+    db1.Execute(s1, row);
+    db2.Execute(s2, row);
+  }
+
+  StatementGenerator gen(GetParam() + 600);
+  Rng rng(GetParam() + 700);
+  bool diverged = false;
+  for (int i = 0; i < 400 && !diverged; ++i) {
+    std::string text;
+    switch (rng.Uniform(10)) {
+      case 0:
+        text = "UPDATE t SET a = RAND() WHERE c = " +
+               std::to_string(rng.Uniform(10));
+        break;
+      case 1:
+        text = "DELETE FROM t WHERE id IN (SELECT id FROM t WHERE c >= " +
+               std::to_string(rng.Uniform(10)) + " LIMIT 2)";
+        break;
+      default:
+        text = gen.Next();
+    }
+    Statement stmt = Parse(text).TakeValue();
+    RewriteForStatementReplication(&stmt, Value::Int(777), &rng);
+    std::string canonical = ToSql(stmt);
+    DeterminismReport report = Analyze(stmt);
+    db1.Execute(s1, canonical);
+    db2.Execute(s2, canonical);
+    if (db1.ContentHash() != db2.ContentHash()) {
+      diverged = true;
+      EXPECT_FALSE(report.SafeForStatementReplication())
+          << "replicas diverged on a statement the analyzer called safe: "
+          << canonical;
+    }
+  }
+  // Unsafe statements are frequent enough that most seeds diverge; a seed
+  // that never did must leave the engines converged.
+  if (!diverged) EXPECT_EQ(db1.ContentHash(), db2.ContentHash());
+}
+
 }  // namespace
 }  // namespace replidb::sql
