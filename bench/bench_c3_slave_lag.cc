@@ -23,6 +23,10 @@ struct LagResult {
   double master_tps = 0;
 };
 
+sim::Duration LoadDuration() {
+  return (BenchShortMode() ? 4 : 15) * sim::kSecond;
+}
+
 LagResult RunOnce(int apply_workers) {
   // Per-config metrics: each run starts from a clean registry so the
   // per-stage breakdown below describes exactly this configuration.
@@ -50,8 +54,7 @@ LagResult RunOnce(int apply_workers) {
     if (m > s) out.peak_lag = std::max(out.peak_lag, m - s);
   });
   sampler.Start();
-  RunStats stats = RunClosedLoop(c.get(), &w, /*clients=*/32,
-                                 15 * sim::kSecond);
+  RunStats stats = RunClosedLoop(c.get(), &w, /*clients=*/32, LoadDuration());
   sampler.Stop();
   out.master_tps = stats.ThroughputTps();
   uint64_t m = c->replica(0)->applied_version();
@@ -61,7 +64,8 @@ LagResult RunOnce(int apply_workers) {
   // Drain: no new traffic; how long until the slave catches up?
   sim::TimePoint drain_start = c->sim.Now();
   sim::TimePoint caught_up = -1;
-  for (int i = 0; i < 1200 && caught_up < 0; ++i) {
+  int drain_rounds = BenchShortMode() ? 120 : 1200;
+  for (int i = 0; i < drain_rounds && caught_up < 0; ++i) {
     c->sim.RunFor(250 * sim::kMillisecond);
     if (c->replica(1)->applied_version() >=
         c->replica(0)->applied_version()) {
@@ -71,6 +75,112 @@ LagResult RunOnce(int apply_workers) {
   out.drain_seconds =
       caught_up < 0 ? -1 : sim::ToSeconds(caught_up - drain_start);
   return out;
+}
+
+// --- C3(d): shipping-pipeline ablation --------------------------------------
+
+struct ShipConfig {
+  const char* label;
+  int apply_workers;
+  bool batching;
+  bool flow_control;
+  bool backpressure;
+  /// Group-fsync amortization for batch followers. 1.0 disables it — used
+  /// for the "slow slave" rows so the slave genuinely cannot keep up.
+  double group_factor;
+};
+
+struct ShipResult {
+  double master_tps = 0;
+  double slave_apply_tps = 0;
+  uint64_t peak_lag = 0;
+  uint64_t end_lag = 0;
+  uint64_t window_stalls = 0;
+  uint64_t admission_defers = 0;
+};
+
+ShipResult RunShipMode(const ShipConfig& cfg) {
+  obs::MetricsRegistry::Global().Reset();
+  workload::MicroWorkload::Options wo;
+  wo.rows = 2000;
+  wo.write_fraction = 1.0;
+  workload::MicroWorkload w(wo);
+  ClusterOptions opts = BenchDefaults();
+  opts.replicas = 2;
+  opts.controller.mode = middleware::ReplicationMode::kMasterSlaveAsync;
+  opts.replica.apply_workers = cfg.apply_workers;
+  opts.replica.ship_interval = 20 * sim::kMillisecond;
+  opts.replica.apply_base_us = 1800;
+  opts.replica.apply_per_op_us = 100;
+  // Group shipping amortizes the batch's group fsync: followers in one
+  // shipped batch pay a fraction of the per-entry base cost.
+  opts.replica.apply_group_factor = cfg.group_factor;
+  opts.replica.ship.batching = cfg.batching;
+  opts.replica.ship.flow_control = cfg.flow_control;
+  // Small window so a slow slave exhausts it within seconds.
+  opts.replica.ship.window_bytes = 64 * 1024;
+  opts.replica.ship.backpressure_admission = cfg.backpressure;
+  opts.controller.ship.backpressure_admission = cfg.backpressure;
+  auto c = MakeCluster(std::move(opts), &w);
+
+  ShipResult out;
+  sim::PeriodicTask sampler(&c->sim, 250 * sim::kMillisecond, [&] {
+    uint64_t m = c->replica(0)->applied_version();
+    uint64_t s = c->replica(1)->applied_version();
+    if (m > s) out.peak_lag = std::max(out.peak_lag, m - s);
+  });
+  sampler.Start();
+  uint64_t slave_before = c->replica(1)->applied_version();
+  RunStats stats = RunClosedLoop(c.get(), &w, /*clients=*/32, LoadDuration());
+  sampler.Stop();
+  out.master_tps = stats.ThroughputTps();
+  out.slave_apply_tps =
+      static_cast<double>(c->replica(1)->applied_version() - slave_before) /
+      sim::ToSeconds(LoadDuration());
+  uint64_t m = c->replica(0)->applied_version();
+  uint64_t s = c->replica(1)->applied_version();
+  out.end_lag = m > s ? m - s : 0;
+  auto& reg = obs::MetricsRegistry::Global();
+  // The slave is node 2 (cluster replica ids are 1..N).
+  if (const auto* stalls = reg.FindCounter("ship.replica.2.window_stall")) {
+    out.window_stalls = stalls->value();
+  }
+  if (const auto* defers =
+          reg.FindCounter("ship.admission.backpressure_defers")) {
+    out.admission_defers = defers->value();
+  }
+  return out;
+}
+
+void RunShipAblation() {
+  metrics::Banner("C3(d): writeset shipping — batching + flow control");
+  const ShipConfig configs[] = {
+      {"per-txn ship, 2 workers", 2, false, false, false, 0.25},
+      {"batched ship, 2 workers", 2, true, false, false, 0.25},
+      {"batched, slow slave, no flow ctl", 1, true, false, false, 1.0},
+      {"batched+flow+backpressure, slow slave", 1, true, true, true, 1.0},
+  };
+  TablePrinter table({"config", "master_tps", "slave_apply_tps",
+                      "peak_lag_txns", "end_lag_txns", "window_stalls",
+                      "admission_defers"});
+  for (const ShipConfig& cfg : configs) {
+    ShipResult r = RunShipMode(cfg);
+    table.AddRow({cfg.label, TablePrinter::Num(r.master_tps, 0),
+                  TablePrinter::Num(r.slave_apply_tps, 0),
+                  TablePrinter::Int(static_cast<int64_t>(r.peak_lag)),
+                  TablePrinter::Int(static_cast<int64_t>(r.end_lag)),
+                  TablePrinter::Int(static_cast<int64_t>(r.window_stalls)),
+                  TablePrinter::Int(static_cast<int64_t>(r.admission_defers))});
+  }
+  table.Print("group shipping amortizes the slave's per-entry fsync "
+              "(apply_group_factor=0.25); credit flow control turns "
+              "unbounded lag into admission backpressure");
+  std::printf(
+      "\nExpected shape: batching raises the slave's sustainable apply\n"
+      "rate over per-txn shipping. A deliberately slow slave still lags\n"
+      "monotonically without flow control; with credits + admission\n"
+      "backpressure the master is paced (window_stalls > 0) and the lag\n"
+      "stays bounded instead of growing for the whole run.\n");
 }
 
 void Run() {
@@ -95,6 +205,8 @@ void Run() {
       "further behind a parallel master and needs a long drain — the\n"
       "\"solution\" in the field is slowing down the master (§2.2).\n"
       "Parallel apply (the research ask of §4.4.2) bounds the lag.\n");
+
+  RunShipAblation();
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 
 #include "engine/rdbms.h"
 #include "middleware/recovery_log.h"
+#include "ship/codec.h"
 #include "sql/determinism.h"
 #include "sql/parser.h"
 
@@ -211,6 +212,53 @@ void BM_ContentHash(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_ContentHash)->Arg(1000)->Arg(10000);
+
+// --- Ship wire codec --------------------------------------------------------
+
+std::vector<middleware::ReplicationEntry> ShipBenchBatch(int n) {
+  std::vector<middleware::ReplicationEntry> batch;
+  for (int i = 0; i < n; ++i) {
+    middleware::ReplicationEntry e;
+    e.version = static_cast<uint64_t>(i + 1);
+    e.origin_commit_us = 1000000 + i * 137;
+    engine::WriteOp op;
+    op.kind = engine::WriteOpKind::kUpdate;
+    op.database = "bank";
+    op.table = "accounts";
+    op.primary_key = sql::Value::Int(i);
+    op.after = {sql::Value::Int(i), sql::Value::Int(1000 + i),
+                sql::Value::String("account holder " + std::to_string(i % 7))};
+    e.writeset.ops.push_back(std::move(op));
+    batch.push_back(std::move(e));
+  }
+  return batch;
+}
+
+void BM_ShipEncodeBatch(benchmark::State& state) {
+  auto batch = ShipBenchBatch(static_cast<int>(state.range(0)));
+  int64_t raw = 0, wire = 0;
+  for (auto _ : state) {
+    ship::EncodedBatch enc = ship::EncodeBatch(batch, ship::CodecOptions{});
+    raw = enc.raw_size_bytes;
+    wire = enc.encoded_size_bytes;
+    benchmark::DoNotOptimize(enc);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["compression"] =
+      wire > 0 ? static_cast<double>(raw) / static_cast<double>(wire) : 0;
+}
+BENCHMARK(BM_ShipEncodeBatch)->Arg(1)->Arg(16)->Arg(256);
+
+void BM_ShipDecodeBatch(benchmark::State& state) {
+  auto batch = ShipBenchBatch(static_cast<int>(state.range(0)));
+  ship::EncodedBatch enc = ship::EncodeBatch(batch, ship::CodecOptions{});
+  for (auto _ : state) {
+    auto dec = ship::DecodeBatch(enc.payload);
+    benchmark::DoNotOptimize(dec);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ShipDecodeBatch)->Arg(1)->Arg(16)->Arg(256);
 
 }  // namespace
 }  // namespace replidb

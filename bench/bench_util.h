@@ -42,6 +42,13 @@ inline ClusterOptions BenchDefaults() {
   return o;
 }
 
+/// True when REPLIDB_BENCH_SHORT is set (non-empty): scenario benches
+/// shrink their run times so CI can smoke-test them in seconds.
+inline bool BenchShortMode() {
+  const char* v = std::getenv("REPLIDB_BENCH_SHORT");
+  return v != nullptr && *v != '\0';
+}
+
 /// Builds a cluster, loads the workload's schema, starts it.
 inline std::unique_ptr<Cluster> MakeCluster(ClusterOptions opts,
                                             workload::Workload* workload) {
@@ -100,7 +107,8 @@ class DirectClient {
     msg.statements = req.statements;
     msg.read_only = req.read_only;
     callbacks_[msg.req_id] = std::move(cb);
-    dispatcher_->Send(replica_, middleware::kMsgExec, msg, 256);
+    dispatcher_->Send(replica_, middleware::kMsgExec, msg,
+                      middleware::ExecMsgWireSize(msg));
   }
 
  private:

@@ -94,7 +94,8 @@ void Driver::Send(uint64_t req_id) {
   msg.req_id = req_id;
   msg.request = out.request;
   msg.last_seen_version = last_seen_[pick];
-  dispatcher_->Send(controllers_[pick], kMsgClientTxn, msg, 256);
+  dispatcher_->Send(controllers_[pick], kMsgClientTxn, msg,
+                    middleware::StatementsWireSize(msg.request.statements));
 
   out.timer = sim_->Schedule(options_.request_timeout,
                              [this, req_id] { OnTimeout(req_id); });

@@ -37,6 +37,7 @@ struct ControllerMetrics {
   obs::Counter* audit_epochs;
   obs::Counter* audit_reports;
   obs::Counter* audit_divergence;
+  obs::Counter* backpressure_defers;
   obs::Gauge* pending_txns;
   obs::HistogramMetric* process_ms;
   obs::HistogramMetric* total_ms;
@@ -72,6 +73,7 @@ struct ControllerMetrics {
     audit_epochs = r.GetCounter("audit.cluster.epochs_started");
     audit_reports = r.GetCounter("audit.cluster.reports_received");
     audit_divergence = r.GetCounter("audit.cluster.divergence_detected");
+    backpressure_defers = r.GetCounter("ship.admission.backpressure_defers");
     pending_txns = r.GetGauge("middleware.controller.pending_txns");
     process_ms = r.GetHistogram("middleware.controller.process_ms");
     total_ms = r.GetHistogram("middleware.txn.total_ms");
@@ -118,6 +120,14 @@ Controller::Controller(sim::Simulator* sim, net::Network* network,
     info.lag_gauge = ReplicaLagGauge(r->id());
     replicas_[r->id()] = info;
   }
+
+  ship_pipeline_ = std::make_unique<ship::ShipPipeline>(sim_, dispatcher_.get(),
+                                                        options_.ship);
+  dispatcher_->On(ship::kMsgShipCredit, [this](const net::Message& m) {
+    if (crashed_) return;
+    auto body = std::any_cast<ship::ShipCreditMsg>(m.body);
+    ship_pipeline_->OnCredit(m.from, body.bytes);
+  });
 
   hb_responder_ = std::make_unique<net::HeartbeatResponder>(sim_, dispatcher_.get());
   detector_ = std::make_unique<net::HeartbeatDetector>(sim_, dispatcher_.get(),
@@ -355,10 +365,9 @@ void Controller::AntiEntropySweep() {
     GlobalVersion up_to =
         std::min<GlobalVersion>(info.applied + 5000, global_version_);
     for (ReplicationEntry& entry : recovery_log_.Range(info.applied, up_to)) {
-      ApplyMsg msg;
-      msg.entry = std::move(entry);
-      dispatcher_->Send(id, kMsgApply, msg, msg.entry.SizeBytes() + 64);
+      ship_pipeline_->Enqueue(id, std::move(entry));
     }
+    ship_pipeline_->Flush(id, ship::FlushReason::kSync);
   }
 }
 
@@ -636,7 +645,7 @@ void Controller::RouteRead(Pending* p) {
   msg.min_version = p->min_version;
   msg.tables = p->tables;
   msg.trace_id = p->request.trace.id;
-  dispatcher_->Send(target, kMsgExec, msg, 256);
+  dispatcher_->Send(target, kMsgExec, msg, ExecMsgWireSize(msg));
 }
 
 // ---------------------------------------------------------------------------
@@ -676,6 +685,21 @@ void Controller::RouteWriteMasterSlave(Pending* p) {
     FinishRequest(p, std::move(result));
     return;
   }
+  if (options_.ship.backpressure_admission && m->node->ShipBackpressured()) {
+    // The master's ship window to some slave is exhausted: admitting more
+    // writes would only grow the lag. Defer and re-route shortly; the
+    // client-side request timeout bounds how long this can go on.
+    ControllerMetrics::Get().backpressure_defers->Increment();
+    uint64_t req_id = p->req_id;
+    uint64_t epoch = epoch_;
+    sim_->Schedule(2 * sim::kMillisecond, [this, req_id, epoch] {
+      if (crashed_ || epoch_ != epoch) return;
+      auto it = pending_.find(req_id);
+      if (it == pending_.end()) return;
+      RouteWrite(&it->second);
+    });
+    return;
+  }
   p->target = master_;
   m->outstanding++;
   ExecTxnMsg msg;
@@ -696,7 +720,7 @@ void Controller::RouteWriteMasterSlave(Pending* p) {
     }
     msg.sync_ack_count = std::min(options_.sync_ack_count, online_slaves);
   }
-  dispatcher_->Send(master_, kMsgExec, msg, 512);
+  dispatcher_->Send(master_, kMsgExec, msg, ExecMsgWireSize(msg));
 }
 
 Status Controller::PrepareStatements(Pending* p) {
@@ -779,7 +803,7 @@ void Controller::RouteWriteStatement(Pending* p) {
     msg.order = p->order;
     msg.tables = p->tables;
     msg.trace_id = p->request.trace.id;
-    dispatcher_->Send(t, kMsgExec, msg, 512);
+    dispatcher_->Send(t, kMsgExec, msg, ExecMsgWireSize(msg));
   }
 }
 
@@ -803,7 +827,7 @@ void Controller::RouteWriteCertification(Pending* p) {
   msg.hold_commit = true;
   msg.tables = p->tables;
   msg.trace_id = p->request.trace.id;
-  dispatcher_->Send(target, kMsgExec, msg, 512);
+  dispatcher_->Send(target, kMsgExec, msg, ExecMsgWireSize(msg));
 }
 
 // ---------------------------------------------------------------------------
@@ -933,9 +957,7 @@ void Controller::HandleExecReply(const net::Message& m) {
       p->mirror_seq_after = mirror_seq_;
       for (const auto& [id, info] : replicas_) {
         if (id == p->target || info.state == ReplicaState::kDown) continue;
-        ApplyMsg apply;
-        apply.entry = entry;
-        dispatcher_->Send(id, kMsgApply, apply, entry.SizeBytes() + 64);
+        ship_pipeline_->Enqueue(id, entry);
       }
       p->held = true;
       p->order = v;
@@ -1215,13 +1237,20 @@ void Controller::StartResync(net::NodeId replica) {
   ControllerMetrics::Get().resyncs_started->Increment();
   ReplayBehindGauge(replica)->Set(static_cast<int64_t>(
       info->resync_target > from ? info->resync_target - from : 0));
+  // The rejoiner's credit/window state is void (it restarted): reset the
+  // per-peer ship state on every sender that pushes to it.
+  ship_pipeline_->ResetPeer(replica);
+  if (master_ >= 0 && master_ != replica &&
+      (options_.mode == ReplicationMode::kMasterSlaveAsync ||
+       options_.mode == ReplicationMode::kMasterSlaveSync)) {
+    if (ReplicaInfo* m = Info(master_)) m->node->ResetShipPeer(replica);
+  }
   std::vector<ReplicationEntry> entries =
       recovery_log_.Range(from, global_version_);
   for (ReplicationEntry& entry : entries) {
-    ApplyMsg msg;
-    msg.entry = std::move(entry);
-    dispatcher_->Send(replica, kMsgApply, msg, msg.entry.SizeBytes() + 64);
+    ship_pipeline_->Enqueue(replica, std::move(entry));
   }
+  ship_pipeline_->Flush(replica, ship::FlushReason::kSync);
   CheckResyncDone(replica);
 }
 
@@ -1454,6 +1483,7 @@ void Controller::Crash() {
   crashed_ = true;
   ++epoch_;
   network_->CrashNode(id());
+  ship_pipeline_->Clear();  // Queued pushes and granted credits are void.
   pending_.clear();  // In-flight client txns die; drivers time out.
   active_client_reqs_.clear();
   completed_writes_.clear();  // Soft state: exactly-once dies with it (§3.2).

@@ -18,6 +18,7 @@
 #include "net/dispatcher.h"
 #include "net/failure_detector.h"
 #include "net/network.h"
+#include "ship/pipeline.h"
 #include "sim/simulator.h"
 #include "sql/determinism.h"
 
@@ -77,6 +78,13 @@ struct ControllerOptions {
 
   /// Heartbeat failure-detection settings for replica monitoring.
   net::HeartbeatOptions heartbeat;
+
+  /// Shipping-pipeline knobs for the controller's own push paths
+  /// (certification distribution, resync replay, anti-entropy). The
+  /// master-slave binlog stream uses ReplicaOptions::ship instead.
+  /// `ship.backpressure_admission` additionally defers routing new
+  /// master-slave writes while the master's ship window is exhausted.
+  ship::ShipOptions ship;
 
   /// Online content auditing (0 = disabled). Every interval the controller
   /// opens an audit epoch: it injects an audit barrier at the current head
@@ -328,6 +336,9 @@ class Controller {
 
   std::unique_ptr<net::HeartbeatDetector> detector_;
   std::unique_ptr<net::HeartbeatResponder> hb_responder_;
+  /// Outgoing ship pipeline for the controller's push paths (cert
+  /// distribution, resync replay, anti-entropy re-ship).
+  std::unique_ptr<ship::ShipPipeline> ship_pipeline_;
   std::unique_ptr<sim::PeriodicTask> anti_entropy_;
   std::unique_ptr<sim::PeriodicTask> audit_task_;
   audit::DivergenceAuditor auditor_;

@@ -55,6 +55,25 @@ struct ExecTxnMsg {
   uint64_t trace_id = 0;
 };
 
+/// Wire size of a statement-carrying request: per-statement SQL text plus
+/// a fixed header. Used by every exec/client-txn sender so request sizes
+/// track the actual SQL instead of a hard-coded constant.
+inline int64_t StatementsWireSize(const std::vector<std::string>& statements) {
+  int64_t bytes = 64;
+  for (const std::string& s : statements) {
+    bytes += static_cast<int64_t>(s.size()) + 4;
+  }
+  return bytes;
+}
+
+inline int64_t ExecMsgWireSize(const ExecTxnMsg& m) {
+  int64_t bytes = StatementsWireSize(m.statements);
+  for (const std::string& t : m.tables) {
+    bytes += static_cast<int64_t>(t.size()) + 4;
+  }
+  return bytes;
+}
+
 /// Client driver -> controller: run a transaction.
 struct ClientTxnMsg {
   uint64_t req_id = 0;
@@ -127,6 +146,9 @@ struct ApplyMsg {
   bool skip = false;
   /// If >0, the receiver acks receipt to the sender (2-safe shipping).
   bool ack_requested = false;
+  /// Entry arrived after the first of a shipped batch: its durable apply
+  /// shares the batch's group fsync (ReplicaOptions::apply_group_factor).
+  bool group_follower = false;
 };
 
 struct ShipAckMsg {

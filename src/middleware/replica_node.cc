@@ -122,6 +122,16 @@ ReplicaNode::ReplicaNode(sim::Simulator* sim, net::Network* network,
     }
   });
 
+  ship_pipeline_ = std::make_unique<ship::ShipPipeline>(sim_, dispatcher_.get(),
+                                                        options_.ship);
+  dispatcher_->On(ship::kMsgShipBatch,
+                  [this](const net::Message& m) { HandleShipBatch(m); });
+  dispatcher_->On(ship::kMsgShipCredit, [this](const net::Message& m) {
+    if (crashed_) return;
+    auto body = std::any_cast<ship::ShipCreditMsg>(m.body);
+    ship_pipeline_->OnCredit(m.from, body.bytes);
+  });
+
   ship_task_ = std::make_unique<sim::PeriodicTask>(
       sim_, options_.ship_interval, [this] {
         if (!crashed_) ShipCommitted();
@@ -133,6 +143,7 @@ ReplicaNode::~ReplicaNode() { ship_task_->Stop(); }
 
 void ReplicaNode::SetSubscribers(std::vector<net::NodeId> subscribers) {
   subscribers_ = std::move(subscribers);
+  ship_pipeline_->SetPeers(subscribers_);
 }
 
 engine::ExecResult ReplicaNode::AdminExec(const std::string& sql) {
@@ -168,6 +179,10 @@ void ReplicaNode::Crash() {
   }
   held_.clear();
   pending_sync_.clear();
+  // Queued ship batches and unmatured credits die with the process; the
+  // senders restore full windows when this node is resubscribed/resynced.
+  ship_pipeline_->Clear();
+  pending_credits_.clear();
   ordered_buffer_.clear();
   ordered_arrival_.clear();
   ordered_exec_.clear();
@@ -413,23 +428,67 @@ void ReplicaNode::HandleFinish(const net::Message& m) {
 void ReplicaNode::HandleApply(const net::Message& m) {
   if (crashed_) return;
   auto msg = std::any_cast<ApplyMsg>(m.body);
+  EnqueueOrdered(std::move(msg), m.from);
+  DrainOrderedBuffer();
+}
+
+bool ReplicaNode::EnqueueOrdered(ApplyMsg msg, net::NodeId from) {
   GlobalVersion v = msg.entry.version;
   if (v <= applied_version_ || v <= engine_applied_ ||
       ordered_buffer_.count(v)) {
     // Duplicate (e.g. resync replay overlapping the master's own ship).
     if (msg.ack_requested) {
-      dispatcher_->Send(m.from, kMsgShipAck, ShipAckMsg{v}, 48);
+      dispatcher_->Send(from, kMsgShipAck, ShipAckMsg{v}, 48);
     }
-    return;
+    return false;
   }
   if (msg.ack_requested) {
     // Receipt ack (2-safe is about receipt, not application).
-    dispatcher_->Send(m.from, kMsgShipAck, ShipAckMsg{v}, 48);
+    dispatcher_->Send(from, kMsgShipAck, ShipAckMsg{v}, 48);
     msg.ack_requested = false;
   }
   ordered_buffer_[v] = std::move(msg);
   ordered_arrival_[v] = sim_->Now();
+  return true;
+}
+
+void ReplicaNode::HandleShipBatch(const net::Message& m) {
+  if (crashed_) return;
+  Result<std::vector<ship::IngestedEntry>> ingested = ship::IngestBatch(m);
+  if (!ingested.ok()) return;  // Corrupt batch: counted, sender re-ships.
+  for (ship::IngestedEntry& ie : ingested.value()) {
+    ApplyMsg msg;
+    msg.entry = std::move(ie.entry);
+    msg.ack_requested = ie.ack_requested;
+    msg.group_follower = ie.group_follower;
+    GlobalVersion v = msg.entry.version;
+    if (EnqueueOrdered(std::move(msg), m.from)) {
+      // Credit matures when this entry is durably applied.
+      pending_credits_.emplace(v, std::make_pair(m.from, ie.credit_bytes));
+    } else {
+      // Duplicate: the bytes are already accounted for — refund now so
+      // the sender's window is not leaked away.
+      dispatcher_->Send(m.from, ship::kMsgShipCredit,
+                        ship::ShipCreditMsg{ie.credit_bytes},
+                        ship::kCreditMsgBytes);
+    }
+  }
   DrainOrderedBuffer();
+}
+
+void ReplicaNode::ReleaseCredits() {
+  if (pending_credits_.empty()) return;
+  std::map<net::NodeId, int64_t> grants;
+  while (!pending_credits_.empty() &&
+         pending_credits_.begin()->first <= applied_version_) {
+    auto it = pending_credits_.begin();
+    grants[it->second.first] += it->second.second;
+    pending_credits_.erase(it);
+  }
+  for (const auto& [to, bytes] : grants) {
+    dispatcher_->Send(to, ship::kMsgShipCredit, ship::ShipCreditMsg{bytes},
+                      ship::kCreditMsgBytes);
+  }
 }
 
 void ReplicaNode::DrainOrderedBuffer() {
@@ -566,10 +625,7 @@ void ReplicaNode::DrainOrderedBuffer() {
           ++apply_errors_;
           ReplicaMetrics::Get().apply_errors->Increment();
         }
-        cost = static_cast<int64_t>(
-            options_.apply_base_us +
-            options_.apply_per_op_us *
-                static_cast<double>(entry.writeset.ops.size()));
+        cost = ApplyCost(entry, item.group_follower);
         for (const std::string& k : entry.writeset.ConflictKeys()) {
           conflict_keys.push_back(k);
         }
@@ -634,6 +690,7 @@ void ReplicaNode::DrainOrderedBuffer() {
           if (v > applied_version_) {
             applied_version_ = v;
             SendProgress();
+            ReleaseCredits();
             DrainWaitingReads();
           }
           if (origin_us > 0 && sim_->Now() >= origin_us) {
@@ -676,11 +733,9 @@ void ReplicaNode::ShipCommitted(int sync_acks_for_version,
         be.commit_time_micros > 0 ? be.commit_time_micros : sim_->Now();
     last_shipped_ = std::max<GlobalVersion>(last_shipped_, entry.version);
     if (entry.version == sync_version) sync_version_covered = true;
+    bool ack = entry.version == sync_version;
     for (net::NodeId sub : subscribers_) {
-      ApplyMsg msg;
-      msg.entry = entry;
-      msg.ack_requested = (entry.version == sync_version);
-      dispatcher_->Send(sub, kMsgApply, msg, entry.SizeBytes() + 64);
+      ship_pipeline_->Enqueue(sub, entry, ack);
     }
   }
   // 2-safe commit whose entry already left with the periodic shipper:
@@ -697,14 +752,14 @@ void ReplicaNode::ShipCommitted(int sync_acks_for_version,
       entry.origin_commit_us =
           be.commit_time_micros > 0 ? be.commit_time_micros : sim_->Now();
       for (net::NodeId sub : subscribers_) {
-        ApplyMsg msg;
-        msg.entry = entry;
-        msg.ack_requested = true;
-        dispatcher_->Send(sub, kMsgApply, msg, entry.SizeBytes() + 64);
+        ship_pipeline_->Enqueue(sub, entry, /*ack_requested=*/true);
       }
       break;
     }
   }
+  // A 2-safe commit must not sit behind the batching latency cap: the
+  // client is waiting on the receipt acks.
+  if (sync_version > 0) ship_pipeline_->FlushAll(ship::FlushReason::kSync);
 }
 
 void ReplicaNode::CheckAuditBarriers() {
@@ -782,9 +837,14 @@ sim::TimePoint ReplicaNode::ChargeWorker(int64_t cost_us,
   return *worker;
 }
 
-int64_t ReplicaNode::ApplyCost(const ReplicationEntry& entry) const {
+int64_t ReplicaNode::ApplyCost(const ReplicationEntry& entry,
+                               bool group_follower) const {
+  // Followers of a shipped batch share one group fsync: only the fixed
+  // per-commit cost is amortized, the per-op work is not.
+  double base = options_.apply_base_us *
+                (group_follower ? options_.apply_group_factor : 1.0);
   return static_cast<int64_t>(
-      options_.apply_base_us +
+      base +
       options_.apply_per_op_us * static_cast<double>(entry.writeset.ops.size()));
 }
 

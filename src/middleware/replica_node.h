@@ -13,6 +13,7 @@
 #include "net/failure_detector.h"
 #include "net/network.h"
 #include "obs/metrics.h"
+#include "ship/pipeline.h"
 #include "sim/simulator.h"
 
 namespace replidb::middleware {
@@ -43,6 +44,13 @@ struct ReplicaOptions {
   /// If true, a crash also destroys local data (disk loss): the replica
   /// must be re-cloned rather than merely resynchronized.
   bool lose_data_on_crash = false;
+  /// Shipping-pipeline knobs for the master role's binlog stream (wire
+  /// codec, batching, credit-based flow control).
+  ship::ShipOptions ship;
+  /// Group-apply amortization: entries arriving after the first of one
+  /// shipped batch pay apply_base_us * this factor (they share the
+  /// batch's group fsync). 1.0 = no amortization.
+  double apply_group_factor = 1.0;
 };
 
 /// \brief A database replica: one Rdbms engine attached to a simulated
@@ -114,6 +122,16 @@ class ReplicaNode {
   int software_version() const { return software_version_; }
   void set_software_version(int v) { software_version_ = v; }
 
+  /// True while the master role's ship window to any subscriber is
+  /// exhausted (credit flow control) — the admission backpressure signal.
+  bool ShipBackpressured() const { return ship_pipeline_->AnyStalled(); }
+
+  /// Forgets queued entries and restores a full ship window for one peer
+  /// (it restarted or is being resynced, so its credit state is void).
+  void ResetShipPeer(net::NodeId peer) { ship_pipeline_->ResetPeer(peer); }
+
+  const ship::ShipPipeline& ship_pipeline() const { return *ship_pipeline_; }
+
  private:
   struct HeldTxn {
     engine::SessionId session = 0;
@@ -129,6 +147,14 @@ class ReplicaNode {
   int64_t TouchCache(const std::vector<std::string>& tables, int64_t cost);
   void HandleFinish(const net::Message& m);
   void HandleApply(const net::Message& m);
+  void HandleShipBatch(const net::Message& m);
+  /// Queues one ingested entry into the ordered stream (shared by the
+  /// legacy kMsgApply path and the batch ingest path). Returns false for
+  /// duplicates.
+  bool EnqueueOrdered(ApplyMsg msg, net::NodeId from);
+  /// Grants matured byte credits (entries applied up to applied_version_)
+  /// back to their senders.
+  void ReleaseCredits();
   void HandleBackup(const net::Message& m);
   void HandleRestore(const net::Message& m);
 
@@ -160,7 +186,8 @@ class ReplicaNode {
 
   void SendProgress();
 
-  int64_t ApplyCost(const ReplicationEntry& entry) const;
+  int64_t ApplyCost(const ReplicationEntry& entry,
+                    bool group_follower = false) const;
 
   sim::Simulator* sim_;
   net::Network* network_;
@@ -204,6 +231,12 @@ class ReplicaNode {
     std::function<void()> on_acked;
   };
   std::map<GlobalVersion, PendingSync> pending_sync_;
+  /// Outgoing ship pipeline (master role): batches + flow control.
+  std::unique_ptr<ship::ShipPipeline> ship_pipeline_;
+  /// Credits owed per ingested-but-not-yet-applied entry: version ->
+  /// (sender, bytes). Granted back when applied_version_ passes them.
+  std::multimap<GlobalVersion, std::pair<net::NodeId, int64_t>>
+      pending_credits_;
 
   // Held (uncommitted) transactions for certification mode.
   std::unordered_map<uint64_t, HeldTxn> held_;

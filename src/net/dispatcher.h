@@ -41,9 +41,10 @@ class Dispatcher {
   /// Removes all handlers for a type (e.g. component being upgraded).
   void Off(const std::string& type) { handlers_.erase(type); }
 
-  /// Sends from this node.
+  /// Sends from this node. `size_bytes` is the payload's wire size and
+  /// must be positive (see Network::Send).
   bool Send(NodeId to, std::string type, std::any body,
-            int64_t size_bytes = 256) {
+            int64_t size_bytes) {
     return network_->Send(node_, to, std::move(type), std::move(body),
                           size_bytes);
   }

@@ -83,6 +83,8 @@ sim::Duration Network::BaseDelay(NodeId a, NodeId b, int64_t size_bytes) const {
 
 bool Network::Send(NodeId from, NodeId to, std::string type, std::any body,
                    int64_t size_bytes) {
+  REPLIDB_CHECK(size_bytes > 0,
+                "Network::Send requires a positive payload size");
   ++messages_sent_;
   auto from_it = nodes_.find(from);
   if (from_it == nodes_.end() || !from_it->second.up) return false;

@@ -21,12 +21,16 @@ using SiteId = int32_t;
 
 /// \brief A message in flight. `body` is a std::any holding the
 /// protocol-specific struct; `type` is a tag for dispatch and tracing.
+/// `size_bytes` is the payload's wire size and must be positive: every
+/// sender states what it puts on the wire (codec-derived for the data
+/// plane, small explicit sizes for the control plane) so bandwidth
+/// modelling is meaningful.
 struct Message {
   NodeId from = -1;
   NodeId to = -1;
   std::string type;
   std::any body;
-  int64_t size_bytes = 256;
+  int64_t size_bytes = 0;
 };
 
 /// Per-message delivery handler installed by each node.
@@ -81,11 +85,12 @@ class Network {
   bool IsUp(NodeId node) const;
   SiteId SiteOf(NodeId node) const;
 
-  /// Sends a datagram. Returns false if the sender itself is down or
-  /// unknown; delivery failures (crash, loss, partition) are silent, as on
-  /// a real network.
+  /// Sends a datagram. `size_bytes` must be positive (checked): callers
+  /// state the true wire size of the payload. Returns false if the sender
+  /// itself is down or unknown; delivery failures (crash, loss, partition)
+  /// are silent, as on a real network.
   bool Send(NodeId from, NodeId to, std::string type, std::any body,
-            int64_t size_bytes = 256);
+            int64_t size_bytes);
 
   /// Splits the network into groups; messages across groups are dropped.
   /// Nodes not listed fall into an implicit final group.

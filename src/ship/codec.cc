@@ -1,0 +1,336 @@
+#include "ship/codec.h"
+
+#include <unordered_map>
+
+#include "engine/types.h"
+#include "ship/wire.h"
+#include "sql/value.h"
+
+namespace replidb::ship {
+namespace {
+
+// Frame header: two magic bytes, a format version, and a flags byte the
+// decoder uses to mirror the encoder's dictionary / delta state machines.
+constexpr uint8_t kMagic0 = 0xD5;
+constexpr uint8_t kMagic1 = 0x5B;
+constexpr uint8_t kFormatVersion = 1;
+constexpr uint8_t kFlagDictionary = 0x01;
+constexpr uint8_t kFlagXorDelta = 0x02;
+
+// Per-entry flags.
+constexpr uint8_t kEntryUseStatements = 0x01;
+constexpr uint8_t kEntryIncomplete = 0x02;
+
+// Value tags.
+constexpr uint8_t kValNull = 0;
+constexpr uint8_t kValInt = 1;
+constexpr uint8_t kValDouble = 2;
+constexpr uint8_t kValString = 3;
+constexpr uint8_t kValTrue = 4;
+constexpr uint8_t kValFalse = 5;
+// Integer XOR'd against the same column of the previously shipped row of
+// the same table (tiny varints for counters and mostly-unchanged rows).
+constexpr uint8_t kValIntXor = 6;
+
+// The dictionary is self-describing: a string is either a back-reference
+// varint(index*2+1) to a previously seen string, or an inline literal
+// varint(len*2)+bytes that both sides append to their tables in lockstep.
+class StringDict {
+ public:
+  explicit StringDict(bool enabled) : enabled_(enabled) {}
+
+  void Encode(WireWriter* w, const std::string& s) {
+    if (enabled_) {
+      auto it = index_.find(s);
+      if (it != index_.end()) {
+        w->PutVarint(it->second * 2 + 1);
+        return;
+      }
+      index_.emplace(s, index_.size());
+    }
+    w->PutVarint(static_cast<uint64_t>(s.size()) * 2);
+    w->PutRaw(s);
+  }
+
+ private:
+  bool enabled_;
+  std::unordered_map<std::string, uint64_t> index_;
+};
+
+class StringUndict {
+ public:
+  explicit StringUndict(bool enabled) : enabled_(enabled) {}
+
+  bool Decode(WireReader* r, std::string* out) {
+    uint64_t head;
+    if (!r->GetVarint(&head)) return false;
+    if (head & 1) {
+      uint64_t idx = head >> 1;
+      if (!enabled_ || idx >= table_.size()) return false;
+      *out = table_[idx];
+      return true;
+    }
+    uint64_t len = head >> 1;
+    std::string_view raw;
+    if (!r->GetRaw(len, &raw)) return false;
+    out->assign(raw);
+    if (enabled_) table_.emplace_back(*out);
+    return true;
+  }
+
+ private:
+  bool enabled_;
+  std::vector<std::string> table_;
+};
+
+void EncodeValue(WireWriter* w, StringDict* dict, const sql::Value& v,
+                 const sql::Value* prev) {
+  switch (v.type()) {
+    case sql::ValueType::kNull:
+      w->PutByte(kValNull);
+      break;
+    case sql::ValueType::kInt:
+      if (prev != nullptr && prev->type() == sql::ValueType::kInt) {
+        w->PutByte(kValIntXor);
+        w->PutVarint(static_cast<uint64_t>(v.AsInt()) ^
+                     static_cast<uint64_t>(prev->AsInt()));
+      } else {
+        w->PutByte(kValInt);
+        w->PutZigzag(v.AsInt());
+      }
+      break;
+    case sql::ValueType::kDouble:
+      w->PutByte(kValDouble);
+      w->PutDouble(v.AsDouble());
+      break;
+    case sql::ValueType::kString:
+      w->PutByte(kValString);
+      dict->Encode(w, v.AsString());
+      break;
+    case sql::ValueType::kBool:
+      w->PutByte(v.AsBool() ? kValTrue : kValFalse);
+      break;
+  }
+}
+
+bool DecodeValue(WireReader* r, StringUndict* dict, const sql::Value* prev,
+                 sql::Value* out) {
+  uint8_t tag;
+  if (!r->GetByte(&tag)) return false;
+  switch (tag) {
+    case kValNull:
+      *out = sql::Value::Null();
+      return true;
+    case kValInt: {
+      int64_t i;
+      if (!r->GetZigzag(&i)) return false;
+      *out = sql::Value::Int(i);
+      return true;
+    }
+    case kValIntXor: {
+      uint64_t x;
+      if (!r->GetVarint(&x)) return false;
+      if (prev == nullptr || prev->type() != sql::ValueType::kInt) return false;
+      *out = sql::Value::Int(
+          static_cast<int64_t>(x ^ static_cast<uint64_t>(prev->AsInt())));
+      return true;
+    }
+    case kValDouble: {
+      double d;
+      if (!r->GetDouble(&d)) return false;
+      *out = sql::Value::Double(d);
+      return true;
+    }
+    case kValString: {
+      std::string s;
+      if (!dict->Decode(r, &s)) return false;
+      *out = sql::Value::String(std::move(s));
+      return true;
+    }
+    case kValTrue:
+      *out = sql::Value::Bool(true);
+      return true;
+    case kValFalse:
+      *out = sql::Value::Bool(false);
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+EncodedBatch EncodeBatch(
+    const std::vector<middleware::ReplicationEntry>& entries,
+    const CodecOptions& options) {
+  EncodedBatch out;
+  WireWriter w;
+  w.PutByte(kMagic0);
+  w.PutByte(kMagic1);
+  w.PutByte(kFormatVersion);
+  uint8_t flags = (options.dictionary ? kFlagDictionary : 0) |
+                  (options.xor_delta ? kFlagXorDelta : 0);
+  w.PutByte(flags);
+  w.PutVarint(entries.size());
+
+  StringDict dict(options.dictionary);
+  // Last shipped row per "db.table", the XOR-delta reference.
+  std::unordered_map<std::string, sql::Row> last_rows;
+  uint64_t prev_version = 0;
+  int64_t prev_commit_us = 0;
+
+  for (const middleware::ReplicationEntry& entry : entries) {
+    out.raw_size_bytes += entry.SizeBytes();
+    w.PutZigzag(static_cast<int64_t>(entry.version) -
+                static_cast<int64_t>(prev_version));
+    prev_version = entry.version;
+    w.PutZigzag(entry.origin_commit_us - prev_commit_us);
+    prev_commit_us = entry.origin_commit_us;
+    uint8_t eflags = (entry.use_statements ? kEntryUseStatements : 0) |
+                     (entry.writeset.incomplete ? kEntryIncomplete : 0);
+    w.PutByte(eflags);
+
+    w.PutVarint(entry.statements.size());
+    for (const std::string& s : entry.statements) dict.Encode(&w, s);
+
+    w.PutVarint(entry.writeset.ops.size());
+    for (const engine::WriteOp& op : entry.writeset.ops) {
+      w.PutByte(static_cast<uint8_t>(op.kind));
+      dict.Encode(&w, op.database);
+      dict.Encode(&w, op.table);
+      // Primary keys are unique by construction, so never delta-encoded.
+      EncodeValue(&w, &dict, op.primary_key, nullptr);
+
+      std::string table_key = op.database + "." + op.table;
+      const sql::Row* prev_row = nullptr;
+      if (options.xor_delta) {
+        auto it = last_rows.find(table_key);
+        if (it != last_rows.end()) prev_row = &it->second;
+      }
+      w.PutVarint(op.after.size());
+      for (size_t i = 0; i < op.after.size(); ++i) {
+        const sql::Value* prev =
+            (prev_row != nullptr && i < prev_row->size()) ? &(*prev_row)[i]
+                                                          : nullptr;
+        EncodeValue(&w, &dict, op.after[i], prev);
+      }
+      if (options.xor_delta && !op.after.empty()) last_rows[table_key] = op.after;
+    }
+  }
+
+  out.payload = w.Take();
+  out.encoded_size_bytes = static_cast<int64_t>(out.payload.size());
+  return out;
+}
+
+Result<std::vector<middleware::ReplicationEntry>> DecodeBatch(
+    std::string_view payload) {
+  WireReader r(payload);
+  uint8_t m0, m1, fmt, flags;
+  if (!r.GetByte(&m0) || !r.GetByte(&m1) || m0 != kMagic0 || m1 != kMagic1) {
+    return Status::InvalidArgument("ship codec: bad magic");
+  }
+  if (!r.GetByte(&fmt) || fmt != kFormatVersion) {
+    return Status::InvalidArgument("ship codec: unsupported format version");
+  }
+  if (!r.GetByte(&flags)) {
+    return Status::InvalidArgument("ship codec: truncated header");
+  }
+  bool use_dict = (flags & kFlagDictionary) != 0;
+  bool use_xor = (flags & kFlagXorDelta) != 0;
+
+  uint64_t count;
+  if (!r.GetVarint(&count) || count > r.remaining()) {
+    // Each entry takes >= 1 byte, so count can never exceed the bytes left.
+    return Status::InvalidArgument("ship codec: bad entry count");
+  }
+
+  StringUndict dict(use_dict);
+  std::unordered_map<std::string, sql::Row> last_rows;
+  std::vector<middleware::ReplicationEntry> entries;
+  entries.reserve(count);
+  uint64_t prev_version = 0;
+  int64_t prev_commit_us = 0;
+
+  for (uint64_t e = 0; e < count; ++e) {
+    middleware::ReplicationEntry entry;
+    int64_t version_delta, commit_delta;
+    uint8_t eflags;
+    if (!r.GetZigzag(&version_delta) || !r.GetZigzag(&commit_delta) ||
+        !r.GetByte(&eflags)) {
+      return Status::InvalidArgument("ship codec: truncated entry header");
+    }
+    prev_version = prev_version + static_cast<uint64_t>(version_delta);
+    entry.version = prev_version;
+    prev_commit_us += commit_delta;
+    entry.origin_commit_us = prev_commit_us;
+    entry.use_statements = (eflags & kEntryUseStatements) != 0;
+    entry.writeset.incomplete = (eflags & kEntryIncomplete) != 0;
+
+    uint64_t n_stmts;
+    if (!r.GetVarint(&n_stmts) || n_stmts > r.remaining()) {
+      return Status::InvalidArgument("ship codec: bad statement count");
+    }
+    entry.statements.reserve(n_stmts);
+    for (uint64_t i = 0; i < n_stmts; ++i) {
+      std::string s;
+      if (!dict.Decode(&r, &s)) {
+        return Status::InvalidArgument("ship codec: bad statement string");
+      }
+      entry.statements.push_back(std::move(s));
+    }
+
+    uint64_t n_ops;
+    if (!r.GetVarint(&n_ops) || n_ops > r.remaining()) {
+      return Status::InvalidArgument("ship codec: bad op count");
+    }
+    entry.writeset.ops.reserve(n_ops);
+    for (uint64_t i = 0; i < n_ops; ++i) {
+      engine::WriteOp op;
+      uint8_t kind;
+      if (!r.GetByte(&kind) ||
+          kind > static_cast<uint8_t>(engine::WriteOpKind::kDelete)) {
+        return Status::InvalidArgument("ship codec: bad op kind");
+      }
+      op.kind = static_cast<engine::WriteOpKind>(kind);
+      if (!dict.Decode(&r, &op.database) || !dict.Decode(&r, &op.table)) {
+        return Status::InvalidArgument("ship codec: bad op table name");
+      }
+      if (!DecodeValue(&r, &dict, nullptr, &op.primary_key)) {
+        return Status::InvalidArgument("ship codec: bad primary key");
+      }
+
+      std::string table_key = op.database + "." + op.table;
+      const sql::Row* prev_row = nullptr;
+      if (use_xor) {
+        auto it = last_rows.find(table_key);
+        if (it != last_rows.end()) prev_row = &it->second;
+      }
+      uint64_t n_vals;
+      if (!r.GetVarint(&n_vals) || n_vals > r.remaining()) {
+        return Status::InvalidArgument("ship codec: bad row width");
+      }
+      op.after.reserve(n_vals);
+      for (uint64_t c = 0; c < n_vals; ++c) {
+        const sql::Value* prev =
+            (prev_row != nullptr && c < prev_row->size()) ? &(*prev_row)[c]
+                                                          : nullptr;
+        sql::Value v;
+        if (!DecodeValue(&r, &dict, prev, &v)) {
+          return Status::InvalidArgument("ship codec: bad row value");
+        }
+        op.after.push_back(std::move(v));
+      }
+      if (use_xor && !op.after.empty()) last_rows[table_key] = op.after;
+      entry.writeset.ops.push_back(std::move(op));
+    }
+    entries.push_back(std::move(entry));
+  }
+
+  if (!r.done()) {
+    return Status::InvalidArgument("ship codec: trailing bytes");
+  }
+  return entries;
+}
+
+}  // namespace replidb::ship

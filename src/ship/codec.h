@@ -1,0 +1,53 @@
+#ifndef REPLIDB_SHIP_CODEC_H_
+#define REPLIDB_SHIP_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "middleware/common.h"
+
+namespace replidb::ship {
+
+/// Codec knobs. Both transforms are lossless; they only trade CPU for
+/// bytes-on-wire (the paper's WAN links are the scarce resource, §2.2).
+struct CodecOptions {
+  /// Shared string dictionary: repeated strings (table names, SQL text,
+  /// hot values) within one batch encode as a small back-reference.
+  bool dictionary = true;
+  /// XOR-delta row encoding: integer columns encode as the XOR against
+  /// the previous shipped row of the same table, which is tiny for
+  /// monotonic counters and mostly-unchanged rows.
+  bool xor_delta = true;
+};
+
+/// Result of encoding a batch of replication entries.
+struct EncodedBatch {
+  std::string payload;
+  /// Size of the in-memory structs (ReplicationEntry::SizeBytes sum) —
+  /// the bytes a naive struct-shipping transport would put on the wire.
+  int64_t raw_size_bytes = 0;
+  /// True encoded wire size (== payload.size()).
+  int64_t encoded_size_bytes = 0;
+};
+
+/// Binary-serializes a batch of replication entries (writesets and/or
+/// statement batches). Versions and commit timestamps are delta-encoded
+/// across the batch; strings go through the optional dictionary; integer
+/// row values optionally XOR-delta against the previous row of the same
+/// table.
+EncodedBatch EncodeBatch(const std::vector<middleware::ReplicationEntry>& entries,
+                         const CodecOptions& options);
+
+/// Decodes a batch produced by EncodeBatch. Never crashes on malformed
+/// input: any truncation, bad tag or bound violation yields an error
+/// status instead.
+Result<std::vector<middleware::ReplicationEntry>> DecodeBatch(
+    std::string_view payload);
+
+}  // namespace replidb::ship
+
+#endif  // REPLIDB_SHIP_CODEC_H_

@@ -1,0 +1,340 @@
+#include "ship/pipeline.h"
+
+#include <algorithm>
+#include <any>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace replidb::ship {
+namespace {
+
+/// Process-wide ship metric handles (counter/histogram lookups are by
+/// name, so resolve once).
+struct ShipMetrics {
+  obs::Counter* flush_size;
+  obs::Counter* flush_timer;
+  obs::Counter* flush_sync;
+  obs::Counter* flush_direct;
+  obs::Counter* flush_resume;
+  obs::Counter* batches;
+  obs::Counter* wire_bytes;
+  obs::Counter* raw_bytes;
+  obs::Counter* decode_errors;
+  obs::Counter* credit_grants;
+  obs::Counter* credit_bytes;
+  obs::HistogramMetric* batch_entries;
+  obs::HistogramMetric* batch_bytes;
+
+  static ShipMetrics& Get() {
+    static ShipMetrics* m = [] {
+      auto& r = obs::MetricsRegistry::Global();
+      auto* s = new ShipMetrics();
+      s->flush_size = r.GetCounter("ship.flush.size");
+      s->flush_timer = r.GetCounter("ship.flush.timer");
+      s->flush_sync = r.GetCounter("ship.flush.sync");
+      s->flush_direct = r.GetCounter("ship.flush.direct");
+      s->flush_resume = r.GetCounter("ship.flush.resume");
+      s->batches = r.GetCounter("ship.wire.batches_total");
+      s->wire_bytes = r.GetCounter("ship.wire.bytes_total");
+      s->raw_bytes = r.GetCounter("ship.wire.raw_bytes_total");
+      s->decode_errors = r.GetCounter("ship.codec.decode_errors");
+      s->credit_grants = r.GetCounter("ship.credit.grants_total");
+      s->credit_bytes = r.GetCounter("ship.credit.bytes_total");
+      s->batch_entries = r.GetHistogram("ship.batch.entries");
+      s->batch_bytes = r.GetHistogram("ship.batch.bytes");
+      return s;
+    }();
+    return *m;
+  }
+};
+
+obs::Counter* FlushCounter(FlushReason reason) {
+  auto& m = ShipMetrics::Get();
+  switch (reason) {
+    case FlushReason::kSize:
+      return m.flush_size;
+    case FlushReason::kTimer:
+      return m.flush_timer;
+    case FlushReason::kSync:
+      return m.flush_sync;
+    case FlushReason::kDirect:
+      return m.flush_direct;
+    case FlushReason::kResume:
+      return m.flush_resume;
+  }
+  return m.flush_size;
+}
+
+}  // namespace
+
+ShipPipeline::ShipPipeline(sim::Simulator* sim, net::Dispatcher* dispatcher,
+                           ShipOptions options)
+    : sim_(sim), dispatcher_(dispatcher), options_(std::move(options)) {}
+
+ShipPipeline::~ShipPipeline() {
+  for (auto& [id, p] : peers_) CancelTimer(&p);
+}
+
+void ShipPipeline::InitPeer(net::NodeId id, Peer* p) {
+  auto& r = obs::MetricsRegistry::Global();
+  std::string prefix = "ship.replica." + std::to_string(id);
+  p->stalls = r.GetCounter(prefix + ".window_stall");
+  p->dropped = r.GetCounter(prefix + ".dropped_entries");
+  p->window_gauge = r.GetGauge(prefix + ".window_bytes");
+  p->queue_gauge = r.GetGauge(prefix + ".queue_bytes");
+  p->window = options_.window_bytes;
+  UpdateGauges(p);
+}
+
+ShipPipeline::Peer* ShipPipeline::FindOrCreatePeer(net::NodeId peer) {
+  auto it = peers_.find(peer);
+  if (it != peers_.end()) return &it->second;
+  Peer* p = &peers_[peer];
+  InitPeer(peer, p);
+  return p;
+}
+
+void ShipPipeline::SetPeers(const std::vector<net::NodeId>& peers) {
+  // Drop peers no longer subscribed; keep live state for the rest.
+  for (auto it = peers_.begin(); it != peers_.end();) {
+    if (std::find(peers.begin(), peers.end(), it->first) == peers.end()) {
+      CancelTimer(&it->second);
+      it->second.generation++;
+      it = peers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (net::NodeId id : peers) FindOrCreatePeer(id);
+}
+
+void ShipPipeline::ResetPeer(net::NodeId peer) {
+  Peer* p = FindOrCreatePeer(peer);
+  CancelTimer(p);
+  p->generation++;
+  p->queue.clear();
+  p->queued_bytes = 0;
+  p->window = options_.window_bytes;
+  p->stalled = false;
+  UpdateGauges(p);
+}
+
+void ShipPipeline::Clear() {
+  for (auto& [id, p] : peers_) {
+    CancelTimer(&p);
+    p.generation++;
+    p.queue.clear();
+    p.queued_bytes = 0;
+    p.window = options_.window_bytes;
+    p.stalled = false;
+    UpdateGauges(&p);
+  }
+}
+
+void ShipPipeline::Enqueue(net::NodeId peer,
+                           const middleware::ReplicationEntry& entry,
+                           bool ack_requested) {
+  Peer* p = FindOrCreatePeer(peer);
+  QueuedEntry qe;
+  qe.entry = entry;
+  qe.ack = ack_requested;
+  qe.est_bytes = entry.SizeBytes();
+  // Bound the queue to a stalled/slow peer: tail-drop plain entries (the
+  // controller's anti-entropy sweep re-ships the gap later). Ack-bearing
+  // entries are never dropped — a lost 2-safe receipt would stall commits.
+  if (options_.flow_control && !ack_requested &&
+      p->queued_bytes + qe.est_bytes > options_.max_peer_queue_bytes) {
+    p->dropped->Increment();
+    return;
+  }
+  p->queued_bytes += qe.est_bytes;
+  p->queue.push_back(std::move(qe));
+  Pump(peer, p, /*force=*/false,
+       options_.batching ? FlushReason::kSize : FlushReason::kDirect);
+  UpdateGauges(p);
+}
+
+void ShipPipeline::Flush(net::NodeId peer, FlushReason reason) {
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) return;
+  Pump(peer, &it->second, /*force=*/true, reason);
+  UpdateGauges(&it->second);
+}
+
+void ShipPipeline::FlushAll(FlushReason reason) {
+  for (auto& [id, p] : peers_) {
+    Pump(id, &p, /*force=*/true, reason);
+    UpdateGauges(&p);
+  }
+}
+
+void ShipPipeline::OnCredit(net::NodeId peer, int64_t bytes) {
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) return;
+  auto& m = ShipMetrics::Get();
+  m.credit_grants->Increment();
+  m.credit_bytes->Increment(bytes);
+  Peer* p = &it->second;
+  p->window = std::min(p->window + bytes, options_.window_bytes);
+  if (p->stalled && p->window > 0) {
+    p->stalled = false;
+    Pump(peer, p, /*force=*/true, FlushReason::kResume);
+  }
+  UpdateGauges(p);
+}
+
+bool ShipPipeline::Stalled(net::NodeId peer) const {
+  auto it = peers_.find(peer);
+  return it != peers_.end() && it->second.stalled;
+}
+
+bool ShipPipeline::AnyStalled() const {
+  for (const auto& [id, p] : peers_) {
+    if (p.stalled) return true;
+  }
+  return false;
+}
+
+int64_t ShipPipeline::QueuedBytes(net::NodeId peer) const {
+  auto it = peers_.find(peer);
+  return it == peers_.end() ? 0 : it->second.queued_bytes;
+}
+
+void ShipPipeline::Pump(net::NodeId id, Peer* p, bool force,
+                        FlushReason reason) {
+  while (!p->queue.empty()) {
+    if (options_.flow_control && p->window <= 0) {
+      // Window exhausted: stall until the peer grants credit. The queue
+      // keeps absorbing entries (bounded by max_peer_queue_bytes).
+      if (!p->stalled) {
+        p->stalled = true;
+        ++stall_events_;
+        p->stalls->Increment();
+      }
+      CancelTimer(p);
+      return;
+    }
+    size_t n = 0;
+    int64_t bytes = 0;
+    if (!options_.batching) {
+      n = 1;
+    } else {
+      while (n < p->queue.size() &&
+             (n == 0 || bytes < options_.batch_max_bytes)) {
+        bytes += p->queue[n].est_bytes;
+        ++n;
+      }
+      if (!force && bytes < options_.batch_max_bytes) {
+        // Partial batch: wait for more entries or the latency cap.
+        ArmTimer(id, p);
+        return;
+      }
+    }
+    SendBatch(id, p, n, reason);
+  }
+  CancelTimer(p);
+}
+
+void ShipPipeline::SendBatch(net::NodeId id, Peer* p, size_t n_entries,
+                             FlushReason reason) {
+  ShipBatchMsg msg;
+  std::vector<middleware::ReplicationEntry> entries;
+  entries.reserve(n_entries);
+  for (size_t i = 0; i < n_entries; ++i) {
+    QueuedEntry& qe = p->queue.front();
+    if (qe.ack) msg.ack_versions.push_back(qe.entry.version);
+    p->queued_bytes -= qe.est_bytes;
+    entries.push_back(std::move(qe.entry));
+    p->queue.pop_front();
+  }
+
+  int64_t raw = 0;
+  int64_t wire = 0;
+  if (options_.use_codec) {
+    EncodedBatch enc = EncodeBatch(entries, options_.codec);
+    raw = enc.raw_size_bytes;
+    wire = enc.encoded_size_bytes + kBatchOverheadBytes;
+    msg.payload = std::move(enc.payload);
+  } else {
+    for (const auto& e : entries) raw += e.SizeBytes();
+    wire = raw + kBatchOverheadBytes;
+    msg.entries = std::move(entries);
+  }
+
+  // Spend window even with flow control off so the gauges stay honest;
+  // only the stall check above is gated on the option.
+  p->window -= wire;
+
+  auto& m = ShipMetrics::Get();
+  m.batches->Increment();
+  m.wire_bytes->Increment(wire);
+  m.raw_bytes->Increment(raw);
+  m.batch_entries->Observe(static_cast<double>(n_entries));
+  m.batch_bytes->Observe(static_cast<double>(wire));
+  FlushCounter(reason)->Increment();
+
+  dispatcher_->Send(id, kMsgShipBatch, std::move(msg), wire);
+}
+
+void ShipPipeline::ArmTimer(net::NodeId id, Peer* p) {
+  if (p->timer != 0) return;
+  uint64_t gen = p->generation;
+  p->timer = sim_->Schedule(options_.batch_max_delay, [this, id, gen] {
+    auto it = peers_.find(id);
+    if (it == peers_.end() || it->second.generation != gen) return;
+    it->second.timer = 0;
+    Pump(id, &it->second, /*force=*/true, FlushReason::kTimer);
+    UpdateGauges(&it->second);
+  });
+}
+
+void ShipPipeline::CancelTimer(Peer* p) {
+  if (p->timer == 0) return;
+  sim_->Cancel(p->timer);
+  p->timer = 0;
+}
+
+void ShipPipeline::UpdateGauges(Peer* p) {
+  p->window_gauge->Set(static_cast<double>(p->window));
+  p->queue_gauge->Set(static_cast<double>(p->queued_bytes));
+}
+
+Result<std::vector<IngestedEntry>> IngestBatch(const net::Message& m) {
+  const auto* batch = std::any_cast<ShipBatchMsg>(&m.body);
+  if (batch == nullptr) {
+    return Status::InvalidArgument("ship: message body is not a ShipBatchMsg");
+  }
+  std::vector<middleware::ReplicationEntry> entries;
+  if (!batch->payload.empty()) {
+    auto decoded = DecodeBatch(batch->payload);
+    if (!decoded.ok()) {
+      ShipMetrics::Get().decode_errors->Increment();
+      return decoded.status();
+    }
+    entries = decoded.TakeValue();
+  } else {
+    entries = batch->entries;
+  }
+
+  std::vector<IngestedEntry> out;
+  out.reserve(entries.size());
+  if (entries.empty()) return out;
+  int64_t n = static_cast<int64_t>(entries.size());
+  int64_t share = m.size_bytes / n;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    IngestedEntry ie;
+    ie.ack_requested =
+        std::find(batch->ack_versions.begin(), batch->ack_versions.end(),
+                  entries[i].version) != batch->ack_versions.end();
+    ie.group_follower = i > 0;
+    // First entry also carries the rounding remainder so credits conserve
+    // the full wire size.
+    ie.credit_bytes = share + (i == 0 ? m.size_bytes - share * n : 0);
+    ie.entry = std::move(entries[i]);
+    out.push_back(std::move(ie));
+  }
+  return out;
+}
+
+}  // namespace replidb::ship

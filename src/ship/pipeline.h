@@ -1,0 +1,177 @@
+#ifndef REPLIDB_SHIP_PIPELINE_H_
+#define REPLIDB_SHIP_PIPELINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "middleware/common.h"
+#include "net/dispatcher.h"
+#include "obs/metrics.h"
+#include "ship/codec.h"
+#include "sim/simulator.h"
+
+namespace replidb::ship {
+
+/// Data-plane message tags.
+inline constexpr char kMsgShipBatch[] = "rep.ship.batch";
+inline constexpr char kMsgShipCredit[] = "rep.ship.credit";
+
+/// Fixed per-batch framing overhead charged on the wire (message header,
+/// batch envelope) on top of the encoded payload.
+inline constexpr int64_t kBatchOverheadBytes = 32;
+
+/// Wire size charged for a credit grant (small control-plane message).
+inline constexpr int64_t kCreditMsgBytes = 48;
+
+/// One shipped batch. With the codec enabled, `payload` carries the
+/// binary-encoded entries; with it disabled, `entries` carries the plain
+/// structs (and the wire size is the raw struct estimate).
+struct ShipBatchMsg {
+  std::string payload;
+  std::vector<middleware::ReplicationEntry> entries;
+  /// Versions for which the sender wants an explicit receipt ack
+  /// (2-safe sync commits).
+  std::vector<middleware::GlobalVersion> ack_versions;
+};
+
+/// Byte credits granted by a receiver as it durably applies entries.
+struct ShipCreditMsg {
+  int64_t bytes = 0;
+};
+
+/// Why a batch left the sender. kSize: the size cap filled; kTimer: the
+/// latency cap expired; kSync: an explicit flush (2-safe commit, resync);
+/// kDirect: batching disabled, per-entry shipping; kResume: credits
+/// arrived and drained a stalled queue.
+enum class FlushReason { kSize, kTimer, kSync, kDirect, kResume };
+
+/// Shipping-pipeline knobs (see README "Shipping pipeline").
+struct ShipOptions {
+  /// Binary wire codec on the ship path. Off = plain struct shipping with
+  /// the raw struct-size estimate charged on the wire.
+  bool use_codec = true;
+  CodecOptions codec;
+
+  /// Coalesce entries per peer until batch_max_bytes accumulate or
+  /// batch_max_delay passes (group shipping). Off = one entry per message.
+  bool batching = true;
+  int64_t batch_max_bytes = 32 * 1024;
+  sim::Duration batch_max_delay = 2 * sim::kMillisecond;
+
+  /// Credit-based flow control: each peer starts with window_bytes of
+  /// credit, spends it per shipped byte, and earns it back as the peer
+  /// applies. An exhausted window stalls shipping to that peer.
+  bool flow_control = true;
+  int64_t window_bytes = 256 * 1024;
+  /// Bound on bytes queued for one stalled peer; beyond it the newest
+  /// entries are dropped (anti-entropy re-ships them later).
+  int64_t max_peer_queue_bytes = 8 * 1024 * 1024;
+
+  /// When true the controller defers routing new writes while the master's
+  /// ship window to any subscriber is exhausted (backpressure reaches
+  /// admission instead of only the queue).
+  bool backpressure_admission = false;
+};
+
+/// \brief Per-peer shipping pipeline: batches replication entries under a
+/// size cap + latency cap, encodes them with the wire codec, and stops
+/// shipping to a peer whose credit window is exhausted.
+///
+/// Owned by whoever pushes the replication stream (the master replica for
+/// binlog shipping, the controller for certification distribution and
+/// resync). All scheduling runs on the deterministic simulator.
+class ShipPipeline {
+ public:
+  ShipPipeline(sim::Simulator* sim, net::Dispatcher* dispatcher,
+               ShipOptions options);
+  ~ShipPipeline();
+
+  /// Declares the active peer set. Existing peers keep queue and window;
+  /// new peers start with a full window; removed peers are dropped.
+  void SetPeers(const std::vector<net::NodeId>& peers);
+
+  /// Drops a peer's queued entries and restores a full window (peer
+  /// restarted/resynced, so its unapplied credit state is void).
+  void ResetPeer(net::NodeId peer);
+
+  /// Drops all queues and timers (owner crashed).
+  void Clear();
+
+  /// Queues one entry for a peer; ships immediately when a full batch is
+  /// ready, otherwise arms the latency-cap timer. Unknown peers are
+  /// created with a full window.
+  void Enqueue(net::NodeId peer, const middleware::ReplicationEntry& entry,
+               bool ack_requested = false);
+
+  /// Ships everything queued for the peer now (subject to flow control).
+  void Flush(net::NodeId peer, FlushReason reason);
+  void FlushAll(FlushReason reason);
+
+  /// Credit grant from a peer; resumes a stalled queue.
+  void OnCredit(net::NodeId peer, int64_t bytes);
+
+  bool Stalled(net::NodeId peer) const;
+  bool AnyStalled() const;
+  int64_t QueuedBytes(net::NodeId peer) const;
+  uint64_t stall_events() const { return stall_events_; }
+  const ShipOptions& options() const { return options_; }
+
+ private:
+  struct QueuedEntry {
+    middleware::ReplicationEntry entry;
+    bool ack = false;
+    int64_t est_bytes = 0;
+  };
+  struct Peer {
+    std::deque<QueuedEntry> queue;
+    int64_t queued_bytes = 0;
+    int64_t window = 0;
+    bool stalled = false;
+    sim::EventId timer = 0;
+    uint64_t generation = 0;
+    obs::Counter* stalls = nullptr;
+    obs::Counter* dropped = nullptr;
+    obs::Gauge* window_gauge = nullptr;
+    obs::Gauge* queue_gauge = nullptr;
+  };
+
+  Peer* FindOrCreatePeer(net::NodeId peer);
+  void InitPeer(net::NodeId id, Peer* p);
+  void Pump(net::NodeId id, Peer* p, bool force, FlushReason reason);
+  void SendBatch(net::NodeId id, Peer* p, size_t n_entries, FlushReason reason);
+  void ArmTimer(net::NodeId id, Peer* p);
+  void CancelTimer(Peer* p);
+  void UpdateGauges(Peer* p);
+
+  sim::Simulator* sim_;
+  net::Dispatcher* dispatcher_;
+  ShipOptions options_;
+  std::map<net::NodeId, Peer> peers_;
+  uint64_t stall_events_ = 0;
+};
+
+/// One entry handed to the receiver by IngestBatch.
+struct IngestedEntry {
+  middleware::ReplicationEntry entry;
+  bool ack_requested = false;
+  /// True for every entry after the first in its batch: the receiver's
+  /// group-apply amortization (one fsync per batch) keys off this.
+  bool group_follower = false;
+  /// This entry's share of the batch's wire bytes — the credit to grant
+  /// back once the entry is durably applied.
+  int64_t credit_bytes = 0;
+};
+
+/// Receiver-side helper: decodes a kMsgShipBatch message (codec payload or
+/// plain structs) and splits the wire bytes into per-entry credit shares.
+/// Malformed payloads return an error (and count ship.codec.decode_errors).
+Result<std::vector<IngestedEntry>> IngestBatch(const net::Message& m);
+
+}  // namespace replidb::ship
+
+#endif  // REPLIDB_SHIP_PIPELINE_H_

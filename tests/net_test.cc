@@ -37,7 +37,7 @@ TEST(NetworkTest, DeliversWithLanLatency) {
     received.push_back(m.type);
     delivered_at = env.sim.Now();
   });
-  env.net->Send(1, 2, "hello", std::string("x"), 0);
+  env.net->Send(1, 2, "hello", std::string("x"), 1);
   env.sim.Run();
   ASSERT_EQ(received.size(), 1u);
   EXPECT_EQ(received[0], "hello");
@@ -50,7 +50,7 @@ TEST(NetworkTest, WanLatencyAppliesAcrossSites) {
   env.net->RegisterNode(1, [](const Message&) {}, /*site=*/0);
   env.net->RegisterNode(2, [&](const Message&) { delivered_at = env.sim.Now(); },
                         /*site=*/1);
-  env.net->Send(1, 2, "m", 0, 0);
+  env.net->Send(1, 2, "m", 0, 1);
   env.sim.Run();
   EXPECT_EQ(delivered_at, env.opts.wan_latency);
 }
@@ -67,17 +67,66 @@ TEST(NetworkTest, BandwidthAddsTransmissionDelay) {
   EXPECT_LT(delivered_at, env.opts.lan_latency + 10 * kMillisecond);
 }
 
+TEST(NetworkTest, BandwidthDelayScalesWithSize) {
+  // Regression for the size_bytes plumbing: the same payload must take
+  // measurably longer as it grows, on both LAN and WAN links, so codec
+  // sizes actually bite in the bandwidth model.
+  TestEnv env;
+  env.net->RegisterNode(1, [](const Message&) {}, /*site=*/0);
+  sim::TimePoint lan_at = -1;
+  sim::TimePoint wan_at = -1;
+  env.net->RegisterNode(2, [&](const Message&) { lan_at = env.sim.Now(); },
+                        /*site=*/0);
+  env.net->RegisterNode(3, [&](const Message&) { wan_at = env.sim.Now(); },
+                        /*site=*/1);
+
+  auto lan_delay = [&](int64_t size) {
+    lan_at = -1;
+    sim::TimePoint sent = env.sim.Now();
+    env.net->Send(1, 2, "m", 0, size);
+    env.sim.Run();
+    return lan_at - sent;
+  };
+  auto wan_delay = [&](int64_t size) {
+    wan_at = -1;
+    sim::TimePoint sent = env.sim.Now();
+    env.net->Send(1, 3, "m", 0, size);
+    env.sim.Run();
+    return wan_at - sent;
+  };
+
+  sim::Duration lan_small = lan_delay(64);
+  sim::Duration lan_big = lan_delay(1 << 20);
+  // 1 GbE: 1 MiB adds ~8.4ms of transmission over the tiny message.
+  EXPECT_GT(lan_big - lan_small, 8 * kMillisecond);
+  EXPECT_LT(lan_big - lan_small, 9 * kMillisecond);
+
+  sim::Duration wan_small = wan_delay(64);
+  sim::Duration wan_big = wan_delay(1 << 20);
+  // 100 Mbps WAN: 1 MiB adds ~83.9ms. The WAN penalty is 10x the LAN one.
+  EXPECT_GT(wan_big - wan_small, 80 * kMillisecond);
+  EXPECT_LT(wan_big - wan_small, 90 * kMillisecond);
+  EXPECT_GT(wan_big - wan_small, 5 * (lan_big - lan_small));
+}
+
+TEST(NetworkTest, SendRejectsMissingPayloadSize) {
+  TestEnv env;
+  env.net->RegisterNode(1, [](const Message&) {});
+  env.net->RegisterNode(2, [](const Message&) {});
+  EXPECT_DEATH(env.net->Send(1, 2, "m", 0, 0), "positive payload size");
+}
+
 TEST(NetworkTest, CrashedReceiverDropsMessage) {
   TestEnv env;
   int delivered = 0;
   env.net->RegisterNode(1, [](const Message&) {});
   env.net->RegisterNode(2, [&](const Message&) { ++delivered; });
   env.net->CrashNode(2);
-  env.net->Send(1, 2, "m", 0, 0);
+  env.net->Send(1, 2, "m", 0, 1);
   env.sim.Run();
   EXPECT_EQ(delivered, 0);
   env.net->RestartNode(2);
-  env.net->Send(1, 2, "m", 0, 0);
+  env.net->Send(1, 2, "m", 0, 1);
   env.sim.Run();
   EXPECT_EQ(delivered, 1);
 }
@@ -88,7 +137,7 @@ TEST(NetworkTest, CrashedSenderCannotSend) {
   env.net->RegisterNode(1, [](const Message&) {});
   env.net->RegisterNode(2, [&](const Message&) { ++delivered; });
   env.net->CrashNode(1);
-  EXPECT_FALSE(env.net->Send(1, 2, "m", 0, 0));
+  EXPECT_FALSE(env.net->Send(1, 2, "m", 0, 1));
   env.sim.Run();
   EXPECT_EQ(delivered, 0);
 }
@@ -98,7 +147,7 @@ TEST(NetworkTest, CrashWhileInFlightDropsMessage) {
   int delivered = 0;
   env.net->RegisterNode(1, [](const Message&) {});
   env.net->RegisterNode(2, [&](const Message&) { ++delivered; });
-  env.net->Send(1, 2, "m", 0, 0);
+  env.net->Send(1, 2, "m", 0, 1);
   env.net->CrashNode(2);  // Crash before the delivery event fires.
   env.sim.Run();
   EXPECT_EQ(delivered, 0);
@@ -113,13 +162,13 @@ TEST(NetworkTest, PartitionBlocksCrossGroupTraffic) {
   env.net->Partition({{1, 2}, {3}});
   EXPECT_TRUE(env.net->Reachable(1, 2));
   EXPECT_FALSE(env.net->Reachable(1, 3));
-  env.net->Send(1, 2, "m", 0, 0);
-  env.net->Send(1, 3, "m", 0, 0);
+  env.net->Send(1, 2, "m", 0, 1);
+  env.net->Send(1, 3, "m", 0, 1);
   env.sim.Run();
   EXPECT_EQ(delivered_12, 1);
   EXPECT_EQ(delivered_13, 0);
   env.net->HealPartition();
-  env.net->Send(1, 3, "m", 0, 0);
+  env.net->Send(1, 3, "m", 0, 1);
   env.sim.Run();
   EXPECT_EQ(delivered_13, 1);
 }
@@ -142,7 +191,7 @@ TEST(NetworkTest, LossProbabilityDropsSomeMessages) {
   int delivered = 0;
   env.net->RegisterNode(1, [](const Message&) {});
   env.net->RegisterNode(2, [&](const Message&) { ++delivered; });
-  for (int i = 0; i < 1000; ++i) env.net->Send(1, 2, "m", 0, 0);
+  for (int i = 0; i < 1000; ++i) env.net->Send(1, 2, "m", 0, 1);
   env.sim.Run();
   EXPECT_GT(delivered, 350);
   EXPECT_LT(delivered, 650);
@@ -166,9 +215,9 @@ TEST(DispatcherTest, RoutesByType) {
   int a = 0, b = 0;
   d2.On("a", [&](const Message&) { ++a; });
   d2.On("b", [&](const Message&) { ++b; });
-  d1.Send(2, "a", 0, 0);
-  d1.Send(2, "b", 0, 0);
-  d1.Send(2, "c", 0, 0);
+  d1.Send(2, "a", 0, 1);
+  d1.Send(2, "b", 0, 1);
+  d1.Send(2, "c", 0, 1);
   env.sim.Run();
   EXPECT_EQ(a, 1);
   EXPECT_EQ(b, 1);
