@@ -3,7 +3,7 @@
 
 #include <functional>
 #include <memory>
-#include <unordered_map>
+#include "common/hashing.h"
 #include <vector>
 
 #include "middleware/messages.h"
@@ -86,7 +86,7 @@ class Driver {
   std::vector<net::NodeId> controllers_;
   DriverOptions options_;
 
-  std::unordered_map<uint64_t, Outstanding> outstanding_;
+  HashMap<uint64_t, Outstanding> outstanding_;
   uint64_t next_req_ = 1;
   std::vector<middleware::GlobalVersion> last_seen_;
   /// Replicated-controller mode: the last controller that answered

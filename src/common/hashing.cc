@@ -1,0 +1,25 @@
+#include "common/hashing.h"
+
+#include <cstdlib>
+
+namespace replidb {
+namespace {
+
+std::atomic<uint64_t>& SeedCell() {
+  static std::atomic<uint64_t> seed{[] {
+    const char* env = std::getenv("REPLIDB_HASH_SEED");
+    return env ? static_cast<uint64_t>(std::strtoull(env, nullptr, 0))
+               : uint64_t{0};
+  }()};
+  return seed;
+}
+
+}  // namespace
+
+uint64_t HashSeed() { return SeedCell().load(std::memory_order_relaxed); }
+
+void SetHashSeed(uint64_t seed) {
+  SeedCell().store(seed, std::memory_order_relaxed);
+}
+
+}  // namespace replidb

@@ -1,0 +1,66 @@
+#ifndef REPLIDB_COMMON_HASHING_H_
+#define REPLIDB_COMMON_HASHING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+namespace replidb {
+
+/// \brief Seed-perturbed hashing for every unordered container in the tree.
+///
+/// Silent replica divergence (Cecchet et al., §4) hides wherever hash-table
+/// iteration order leaks into replication-visible state: the order is
+/// deterministic per build, so all 418 tests can stay green while replicas
+/// would drift the day the hash function changes. Routing every
+/// unordered container through `SeededHash` makes that order a function of
+/// `REPLIDB_HASH_SEED`: the sim-determinism harness runs each scenario
+/// under two seeds and fails loudly if any iteration order reached a
+/// commit sequence or table digest. Lookup-only containers are unaffected.
+
+/// Process-wide hash perturbation seed. Initialised once from the
+/// REPLIDB_HASH_SEED environment variable (0 when unset).
+uint64_t HashSeed();
+
+/// Overrides the seed (determinism harness). Containers constructed after
+/// the call use the new seed; existing containers keep the seed they
+/// captured at construction, so they stay internally consistent.
+void SetHashSeed(uint64_t seed);
+
+/// splitmix64 finalizer: full-avalanche mix of a 64-bit value.
+inline uint64_t MixHash(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Hasher that folds the process seed into std::hash. The seed is captured
+/// at construction (i.e. at container construction), so a container's
+/// bucket assignment never changes under it mid-lifetime.
+template <typename K>
+struct SeededHash {
+  SeededHash() : seed(HashSeed()) {}
+  size_t operator()(const K& k) const {
+    return static_cast<size_t>(
+        MixHash(static_cast<uint64_t>(std::hash<K>{}(k)) ^
+                (seed * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL)));
+  }
+  uint64_t seed;
+};
+
+/// Drop-in aliases. Use these instead of raw std::unordered_map/set
+/// everywhere in src/ (replicheck's `unordered-iter` rule treats both
+/// spellings as unordered; the seeded variants are what make the
+/// determinism harness able to shake order-dependence out).
+template <typename K, typename V>
+using HashMap = std::unordered_map<K, V, SeededHash<K>>;
+
+template <typename K>
+using HashSet = std::unordered_set<K, SeededHash<K>>;
+
+}  // namespace replidb
+
+#endif  // REPLIDB_COMMON_HASHING_H_

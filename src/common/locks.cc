@@ -1,0 +1,77 @@
+#include "common/locks.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace replidb::common {
+namespace {
+
+std::atomic<bool>& CheckCell() {
+  static std::atomic<bool> enabled{[] {
+#ifndef NDEBUG
+    return true;
+#else
+    return std::getenv("REPLIDB_LOCK_CHECK") != nullptr;
+#endif
+  }()};
+  return enabled;
+}
+
+/// Ranks held by this thread, outermost first.
+thread_local std::vector<LockRank> t_held;
+
+}  // namespace
+
+const char* LockRankName(LockRank rank) {
+  switch (rank) {
+    case LockRank::kLogClock: return "LogClock";
+    case LockRank::kMetricsRegistry: return "MetricsRegistry";
+    case LockRank::kMetricHistogram: return "MetricHistogram";
+    case LockRank::kTracer: return "Tracer";
+  }
+  return "?";
+}
+
+bool LockCheckEnabled() {
+  return CheckCell().load(std::memory_order_relaxed);
+}
+
+void SetLockCheckEnabled(bool enabled) {
+  CheckCell().store(enabled, std::memory_order_relaxed);
+}
+
+void OrderedMutex::lock() {
+  if (LockCheckEnabled()) {
+    for (LockRank held : t_held) {
+      if (static_cast<int>(held) >= static_cast<int>(rank_)) {
+        std::fprintf(
+            stderr,
+            "replidb lock-order violation: acquiring %s(%d) while holding "
+            "%s(%d); see the LockRank table in src/common/locks.h\n",
+            LockRankName(rank_), static_cast<int>(rank_), LockRankName(held),
+            static_cast<int>(held));
+        std::abort();
+      }
+    }
+  }
+  mu_.lock();
+  if (LockCheckEnabled()) t_held.push_back(rank_);
+}
+
+void OrderedMutex::unlock() {
+  // Erase the most recent record of this rank. Tolerates lock() having
+  // run with checking disabled (no record) and non-LIFO unlock orders.
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (*it == rank_) {
+      t_held.erase(std::next(it).base());
+      break;
+    }
+  }
+  mu_.unlock();
+}
+
+int HeldLockCount() { return static_cast<int>(t_held.size()); }
+
+}  // namespace replidb::common

@@ -1,0 +1,72 @@
+#ifndef REPLIDB_COMMON_LOCKS_H_
+#define REPLIDB_COMMON_LOCKS_H_
+
+#include <mutex>
+
+namespace replidb::common {
+
+/// \brief Declared lock-order table and the ordered mutex that enforces it.
+///
+/// The paper's middleware-state hazards (§3.2) extend to our own process:
+/// once real parallelism lands, an undeclared lock ordering is a latent
+/// deadlock and an unsynchronized one is silent divergence. Every mutex in
+/// the tree is therefore an `OrderedMutex` carrying a rank from the table
+/// below, and a thread may only acquire a mutex whose rank is *strictly
+/// greater* than every mutex it already holds. replicheck statically
+/// verifies (a) no raw `std::mutex` is declared outside this file, and
+/// (b) every `OrderedMutex` construction names a rank declared here; the
+/// runtime recorder turns an out-of-order acquisition into an abort.
+///
+/// To add a lock: pick the widest-scope point it can be held across, give
+/// it a rank between its outer-most and inner-most neighbours (gaps of 10
+/// leave room), document the guarded state, and construct the mutex with
+/// the new rank.
+enum class LockRank : int {
+  /// common/logging.cc — process log-clock registration. Leaf: log lines
+  /// may be emitted while any other lock is held.
+  kLogClock = 10,
+  /// obs/metrics.cc — MetricsRegistry name -> entry map. May be taken
+  /// while no other replidb lock is held (registration is cold-path).
+  kMetricsRegistry = 20,
+  /// obs/metrics.h — per-HistogramMetric sample buffer. Inner to the
+  /// registry lock (Snapshot() walks entries while holding it).
+  kMetricHistogram = 30,
+  /// obs/trace.cc — Tracer span/event buffer. Leaf.
+  kTracer = 40,
+};
+
+const char* LockRankName(LockRank rank);
+
+/// Runtime lock-order checking. On by default in debug builds (!NDEBUG)
+/// or when REPLIDB_LOCK_CHECK is set in the environment; tests can force
+/// it regardless of build type. Checking costs a thread-local vector
+/// push/pop per acquisition.
+bool LockCheckEnabled();
+void SetLockCheckEnabled(bool enabled);
+
+/// A mutex with a declared position in the global lock order. Satisfies
+/// BasicLockable, so `std::lock_guard<common::OrderedMutex>` works.
+class OrderedMutex {
+ public:
+  explicit OrderedMutex(LockRank rank) : rank_(rank) {}
+  OrderedMutex(const OrderedMutex&) = delete;
+  OrderedMutex& operator=(const OrderedMutex&) = delete;
+
+  /// Aborts (after printing both ranks) if this thread already holds a
+  /// mutex of equal or greater rank and checking is enabled.
+  void lock();
+  void unlock();
+
+  LockRank rank() const { return rank_; }
+
+ private:
+  std::mutex mu_;
+  LockRank rank_;
+};
+
+/// Ranks currently held by the calling thread (test introspection).
+int HeldLockCount();
+
+}  // namespace replidb::common
+
+#endif  // REPLIDB_COMMON_LOCKS_H_

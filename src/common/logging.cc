@@ -3,6 +3,8 @@
 #include <atomic>
 #include <mutex>
 
+#include "common/locks.h"
+
 namespace replidb {
 
 namespace {
@@ -10,7 +12,7 @@ std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 // Virtual-clock registration. Guarded by a mutex: registration happens at
 // simulator construction, reads happen per emitted log line.
-std::mutex g_clock_mu;
+common::OrderedMutex g_clock_mu{common::LockRank::kLogClock};
 const void* g_clock_owner = nullptr;
 std::function<int64_t()> g_clock;
 
@@ -35,13 +37,13 @@ void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxe
 LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 void SetLogClock(const void* owner, std::function<int64_t()> now_us) {
-  std::lock_guard<std::mutex> lock(g_clock_mu);
+  std::lock_guard<common::OrderedMutex> lock(g_clock_mu);
   g_clock_owner = owner;
   g_clock = std::move(now_us);
 }
 
 void ClearLogClock(const void* owner) {
-  std::lock_guard<std::mutex> lock(g_clock_mu);
+  std::lock_guard<common::OrderedMutex> lock(g_clock_mu);
   if (g_clock_owner != owner) return;
   g_clock_owner = nullptr;
   g_clock = nullptr;
@@ -57,7 +59,7 @@ void LogLine(LogLevel level, const std::string& msg) {
   line += LevelName(level);
   line += ']';
   {
-    std::lock_guard<std::mutex> lock(g_clock_mu);
+    std::lock_guard<common::OrderedMutex> lock(g_clock_mu);
     if (g_clock) {
       char ts[32];
       std::snprintf(ts, sizeof(ts), "[t=%.3fs]",

@@ -939,7 +939,9 @@ class StatementExecutor {
   TxnView view_;
   size_t ws_mark_;
   std::vector<WriteOp> pending_trigger_ops_;
-  std::map<const sql::Expr*, std::vector<Value>> subquery_cache_;
+  // Lookup-only memo keyed by AST node; hashed (never ordered) so that
+  // address order cannot become iteration order.
+  HashMap<const sql::Expr*, std::vector<Value>> subquery_cache_;
 };
 
 // ---------------------------------------------------------------------------
@@ -1156,6 +1158,7 @@ Status Rdbms::CommitTxn(Session* session) {
   }
   // Vacuum horizon: the oldest snapshot a live transaction might read.
   CommitSeq horizon = commit_seq_;
+  // replicheck:allow(unordered-iter) commutative min over snapshots; no order escapes
   for (const auto& [sid2, sess2] : sessions_) {
     (void)sid2;
     if (sess2.txn && sess2.id != session->id) {

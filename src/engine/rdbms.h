@@ -7,7 +7,7 @@
 #include <optional>
 #include <set>
 #include <string>
-#include <unordered_map>
+#include "common/hashing.h"
 #include <vector>
 
 #include "common/result.h"
@@ -293,7 +293,7 @@ class Rdbms {
   std::map<std::string, Procedure> procedures_;
   std::vector<TriggerDef> triggers_;
 
-  std::unordered_map<SessionId, Session> sessions_;
+  HashMap<SessionId, Session> sessions_;
   SessionId next_session_ = 1;
   TxnId next_txn_ = 1;
   CommitSeq commit_seq_ = 0;

@@ -5,7 +5,7 @@
 #include <optional>
 #include <set>
 #include <string>
-#include <unordered_map>
+#include "common/hashing.h"
 #include <vector>
 
 #include "common/result.h"
@@ -153,7 +153,7 @@ class VersionedTable {
   /// Running XOR fold over committed live rows; see digest().
   uint64_t digest_ = 0;
   /// txn -> row ids with pending versions (for commit/rollback).
-  std::unordered_map<TxnId, std::set<RowId>> pending_;
+  HashMap<TxnId, std::set<RowId>> pending_;
 };
 
 }  // namespace replidb::engine

@@ -11,6 +11,9 @@ namespace replidb::gcs {
 
 namespace {
 
+/// Modeled size of a gap-repair NACK frame.
+constexpr int64_t kNackWireBytes = 64;
+
 /// Group-communication registry handles, resolved once (aggregated across
 /// members; the sequencer backlog gauge tracks whoever currently holds the
 /// sequencer role).
@@ -276,7 +279,7 @@ void GroupMember::Tick() {
       dispatcher_->Send(view_.sequencer, kNack,
                         NackBody{next_expected_,
                                  out_of_order_.begin()->first - 1},
-                        64);
+                        kNackWireBytes);
     }
   }
 }

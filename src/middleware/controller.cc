@@ -170,7 +170,7 @@ Controller::Controller(sim::Simulator* sim, net::Network* network,
     auto body = std::any_cast<MirrorMsg>(m.body);
     if (body.entry.version > 0) recovery_log_.Append(body.entry);
     global_version_ = std::max(global_version_, body.global_version);
-    dispatcher_->Send(m.from, kMsgMirrorAck, MirrorAckMsg{body.seq}, 48);
+    dispatcher_->Send(m.from, kMsgMirrorAck, MirrorAckMsg{body.seq}, kAckWireBytes);
   });
   dispatcher_->On(kMsgMirrorAck, [this](const net::Message& m) {
     if (crashed_) return;
@@ -261,7 +261,7 @@ void Controller::RunAuditEpoch() {
   barrier.epoch = epoch;
   barrier.version = global_version_;
   for (net::NodeId rid : online) {
-    dispatcher_->Send(rid, kMsgAuditBarrier, barrier, 64);
+    dispatcher_->Send(rid, kMsgAuditBarrier, barrier, kControlWireBytes);
   }
 }
 
@@ -409,7 +409,7 @@ void Controller::HandleClientTxn(const net::Message& m) {
     reply.req_id = msg.req_id;
     reply.result.status =
         Status::Unavailable("standby controller: active still alive");
-    dispatcher_->Send(m.from, kMsgClientTxnReply, reply, 128);
+    dispatcher_->Send(m.from, kMsgClientTxnReply, reply, kAdminWireBytes);
     return;
   }
 
@@ -422,7 +422,7 @@ void Controller::HandleClientTxn(const net::Message& m) {
     ClientTxnReply reply;
     reply.req_id = msg.req_id;
     reply.result = done->second;
-    dispatcher_->Send(m.from, kMsgClientTxnReply, reply, 256);
+    dispatcher_->Send(m.from, kMsgClientTxnReply, reply, kRowsReplyWireBytes);
     return;
   }
   if (active_client_reqs_.count(client_key)) return;
@@ -922,7 +922,7 @@ void Controller::HandleExecReply(const net::Message& m) {
         FinishTxnMsg abort_msg;
         abort_msg.req_id = p->req_id;
         abort_msg.commit = false;
-        dispatcher_->Send(p->target, kMsgFinish, abort_msg, 64);
+        dispatcher_->Send(p->target, kMsgFinish, abort_msg, kControlWireBytes);
         TxnResult result;
         result.status = Status::NotSupported(
             "writeset replication needs primary keys on all written tables");
@@ -935,7 +935,7 @@ void Controller::HandleExecReply(const net::Message& m) {
         FinishTxnMsg abort_msg;
         abort_msg.req_id = p->req_id;
         abort_msg.commit = false;
-        dispatcher_->Send(p->target, kMsgFinish, abort_msg, 64);
+        dispatcher_->Send(p->target, kMsgFinish, abort_msg, kControlWireBytes);
         TxnResult result;
         result.status =
             Status::Conflict("certification failed (first-committer-wins)");
@@ -1060,7 +1060,7 @@ void Controller::FinishRequest(Pending* p, TxnResult result) {
   ControllerMetrics::Get().pending_txns->Set(
       static_cast<int64_t>(pending_.size()));
   auto send = [this, client, reply]() {
-    dispatcher_->Send(client, kMsgClientTxnReply, reply, 256);
+    dispatcher_->Send(client, kMsgClientTxnReply, reply, kRowsReplyWireBytes);
   };
   if (options_.mirror_to >= 0 && options_.mirror_sync && mirror_seq > 0 &&
       mirror_seq > mirror_acks_) {
@@ -1102,7 +1102,7 @@ void Controller::OnTimeout(uint64_t req_id) {
     FinishTxnMsg abort_msg;
     abort_msg.req_id = p->req_id;
     abort_msg.commit = false;
-    dispatcher_->Send(p->target, kMsgFinish, abort_msg, 64);
+    dispatcher_->Send(p->target, kMsgFinish, abort_msg, kControlWireBytes);
   }
   TxnResult result;
   result.status = Status::Timeout("request timed out in middleware");
@@ -1305,7 +1305,7 @@ void Controller::StartBackup(
   BackupMsg msg;
   msg.req_id = req;
   msg.options = opts;
-  dispatcher_->Send(replica, kMsgBackup, msg, 128);
+  dispatcher_->Send(replica, kMsgBackup, msg, kAdminWireBytes);
 }
 
 void Controller::AddReplica(ReplicaNode* node, net::NodeId donor,
@@ -1361,7 +1361,7 @@ void Controller::AddReplica(ReplicaNode* node, net::NodeId donor,
   BackupMsg msg;
   msg.req_id = req;
   msg.options = opts;
-  dispatcher_->Send(donor, kMsgBackup, msg, 128);
+  dispatcher_->Send(donor, kMsgBackup, msg, kAdminWireBytes);
 }
 
 void Controller::RollingUpgrade(int target_version,
@@ -1472,7 +1472,7 @@ void Controller::CloneInto(net::NodeId target, net::NodeId donor) {
   BackupMsg msg;
   msg.req_id = req;
   msg.options = opts;
-  dispatcher_->Send(donor, kMsgBackup, msg, 128);
+  dispatcher_->Send(donor, kMsgBackup, msg, kAdminWireBytes);
 }
 
 // ---------------------------------------------------------------------------

@@ -5,7 +5,7 @@
 #include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
+#include "common/hashing.h"
 #include <vector>
 
 #include "audit/auditor.h"
@@ -346,7 +346,7 @@ class Controller {
 
   RecoveryLog recovery_log_;
   /// writeset key -> last version that wrote it (certification window).
-  std::unordered_map<std::string, GlobalVersion> last_writer_;
+  HashMap<std::string, GlobalVersion> last_writer_;
   /// Failed masters whose local state may contain commits beyond the
   /// survivor's version (lost transactions living on their disk). If such
   /// a replica rejoins with applied > marker, forward replay would merge
@@ -355,16 +355,16 @@ class Controller {
 
   /// Connection-level balancing: client node -> pinned replica.
   std::map<net::NodeId, net::NodeId> connection_affinity_;
-  std::unordered_map<uint64_t, Pending> pending_;
+  HashMap<uint64_t, Pending> pending_;
   /// Exactly-once support (Sequoia-style transparent failover, §4.3.3):
   /// completed write outcomes by (client, client_req_id) so a driver retry
   /// of an already-committed transaction is answered, not re-executed; and
   /// the in-flight index so duplicate submissions are dropped.
   std::map<std::pair<net::NodeId, uint64_t>, TxnResult> completed_writes_;
   std::map<std::pair<net::NodeId, uint64_t>, uint64_t> active_client_reqs_;
-  std::unordered_map<uint64_t, std::function<void(const BackupReplyMsg&)>>
+  HashMap<uint64_t, std::function<void(const BackupReplyMsg&)>>
       backup_waiters_;
-  std::unordered_map<uint64_t, std::function<void(const RestoreReplyMsg&)>>
+  HashMap<uint64_t, std::function<void(const RestoreReplyMsg&)>>
       restore_waiters_;
   std::map<net::NodeId, std::function<void(Status)>> add_callbacks_;
   void UpgradeNext(std::vector<net::NodeId> remaining, int target_version,

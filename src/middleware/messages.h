@@ -31,6 +31,16 @@ inline constexpr char kMsgRestoreReply[] = "rep.restore.r";
 inline constexpr char kMsgAuditBarrier[] = "audit.barrier";
 inline constexpr char kMsgAuditReport[] = "audit.report";
 
+/// Modeled wire sizes of the fixed-shape frames below. replicheck's
+/// send-size rule rejects a bare integer literal as a Send size (a
+/// literal is how a size silently stops tracking its message); fixed-size
+/// frames pass one of these named constants, variable-size ones compute
+/// their size from the payload.
+inline constexpr int64_t kAckWireBytes = 48;        ///< Bare version/seq acks.
+inline constexpr int64_t kControlWireBytes = 64;    ///< Finish/abort/barrier frames.
+inline constexpr int64_t kAdminWireBytes = 128;     ///< Backup/restore admin + error replies.
+inline constexpr int64_t kRowsReplyWireBytes = 256; ///< Client replies carrying rows.
+
 /// Controller -> replica: execute a transaction.
 struct ExecTxnMsg {
   uint64_t req_id = 0;

@@ -393,14 +393,14 @@ void ReplicaNode::HandleFinish(const net::Message& m) {
       FinishTxnReply reply;
       reply.req_id = msg.req_id;
       reply.version = msg.version;
-      dispatcher_->Send(m.from, kMsgFinishReply, reply, 64);
+      dispatcher_->Send(m.from, kMsgFinishReply, reply, kControlWireBytes);
       return;
     }
     FinishTxnReply reply;
     reply.req_id = msg.req_id;
     reply.status =
         Status::Aborted("held transaction was killed (apply conflict or crash)");
-    dispatcher_->Send(m.from, kMsgFinishReply, reply, 64);
+    dispatcher_->Send(m.from, kMsgFinishReply, reply, kControlWireBytes);
     return;
   }
   if (!msg.commit) {
@@ -409,7 +409,7 @@ void ReplicaNode::HandleFinish(const net::Message& m) {
     held_.erase(it);
     FinishTxnReply reply;
     reply.req_id = msg.req_id;
-    dispatcher_->Send(m.from, kMsgFinishReply, reply, 64);
+    dispatcher_->Send(m.from, kMsgFinishReply, reply, kControlWireBytes);
     return;
   }
   // Commit consumes the transaction's slot in the global order.
@@ -438,13 +438,13 @@ bool ReplicaNode::EnqueueOrdered(ApplyMsg msg, net::NodeId from) {
       ordered_buffer_.count(v)) {
     // Duplicate (e.g. resync replay overlapping the master's own ship).
     if (msg.ack_requested) {
-      dispatcher_->Send(from, kMsgShipAck, ShipAckMsg{v}, 48);
+      dispatcher_->Send(from, kMsgShipAck, ShipAckMsg{v}, kAckWireBytes);
     }
     return false;
   }
   if (msg.ack_requested) {
     // Receipt ack (2-safe is about receipt, not application).
-    dispatcher_->Send(from, kMsgShipAck, ShipAckMsg{v}, 48);
+    dispatcher_->Send(from, kMsgShipAck, ShipAckMsg{v}, kAckWireBytes);
     msg.ack_requested = false;
   }
   ordered_buffer_[v] = std::move(msg);
@@ -703,7 +703,7 @@ void ReplicaNode::DrainOrderedBuffer() {
                               exec_reply.writeset.SizeBytes() + 256);
           }
           if (is_finish && reply_to >= 0) {
-            dispatcher_->Send(reply_to, kMsgFinishReply, finish_reply, 64);
+            dispatcher_->Send(reply_to, kMsgFinishReply, finish_reply, kControlWireBytes);
           }
         });
   }
@@ -784,7 +784,7 @@ void ReplicaNode::SendAuditReport(uint64_t audit_epoch, net::NodeId to) {
 void ReplicaNode::SendProgress() {
   if (controller_ >= 0) {
     dispatcher_->Send(controller_, kMsgProgress,
-                      ProgressMsg{applied_version_}, 48);
+                      ProgressMsg{applied_version_}, kAckWireBytes);
   }
 }
 
@@ -899,7 +899,7 @@ void ReplicaNode::HandleRestore(const net::Message& m) {
   net::NodeId from = m.from;
   sim_->ScheduleAt(done, [this, epoch, from, reply] {
     if (epoch != epoch_ || crashed_) return;
-    dispatcher_->Send(from, kMsgRestoreReply, reply, 128);
+    dispatcher_->Send(from, kMsgRestoreReply, reply, kAdminWireBytes);
   });
 }
 

@@ -4,7 +4,6 @@
 #include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "engine/rdbms.h"
@@ -238,8 +237,10 @@ class ReplicaNode {
   std::multimap<GlobalVersion, std::pair<net::NodeId, int64_t>>
       pending_credits_;
 
-  // Held (uncommitted) transactions for certification mode.
-  std::unordered_map<uint64_t, HeldTxn> held_;
+  // Held (uncommitted) transactions for certification mode. Ordered:
+  // Crash() and conflict kills iterate it, and the resulting ROLLBACK /
+  // Disconnect order feeds the engine's commit sequence.
+  std::map<uint64_t, HeldTxn> held_;
 
   // Freshness-gated reads waiting for applied_version_ >= min_version.
   std::vector<std::pair<ExecTxnMsg, net::NodeId>> waiting_reads_;

@@ -2,10 +2,10 @@
 #define REPLIDB_NET_DISPATCHER_H_
 
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/hashing.h"
 #include "net/network.h"
 
 namespace replidb::net {
@@ -65,7 +65,7 @@ class Dispatcher {
 
   Network* network_;
   NodeId node_;
-  std::unordered_map<std::string, std::vector<MessageHandler>> handlers_;
+  HashMap<std::string, std::vector<MessageHandler>> handlers_;
   uint64_t unmatched_ = 0;
 };
 

@@ -7,6 +7,10 @@
 #include "obs/trace.h"
 
 namespace replidb::net {
+namespace {
+/// Modeled size of a heartbeat/keepalive probe or ack frame.
+constexpr int64_t kProbeWireBytes = 64;
+}  // namespace
 
 namespace {
 struct PingBody {
@@ -52,10 +56,10 @@ HeartbeatResponder::HeartbeatResponder(sim::Simulator* sim,
     uint64_t seq = body.seq;
     if (response_delay_ > 0) {
       sim_->Schedule(response_delay_, [this, from, seq] {
-        dispatcher_->Send(from, kHbAck, AckBody{seq}, 64);
+        dispatcher_->Send(from, kHbAck, AckBody{seq}, kProbeWireBytes);
       });
     } else {
-      dispatcher_->Send(from, kHbAck, AckBody{seq}, 64);
+      dispatcher_->Send(from, kHbAck, AckBody{seq}, kProbeWireBytes);
     }
   });
 }
@@ -87,7 +91,7 @@ bool HeartbeatDetector::IsSuspect(NodeId target) const {
 void HeartbeatDetector::Tick() {
   for (auto& [target, st] : watched_) {
     uint64_t seq = ++st.ping_seq;
-    dispatcher_->Send(target, kHbPing, PingBody{seq}, 64);
+    dispatcher_->Send(target, kHbPing, PingBody{seq}, kProbeWireBytes);
     NodeId t = target;
     sim_->Schedule(options_.timeout, [this, t, seq] {
       auto it = watched_.find(t);
@@ -135,7 +139,7 @@ TcpKeepAliveResponder::TcpKeepAliveResponder(Dispatcher* dispatcher)
   // The kernel answers instantly regardless of application load.
   dispatcher_->On(kKaProbe, [this](const Message& m) {
     auto body = std::any_cast<PingBody>(m.body);
-    dispatcher_->Send(m.from, kKaAck, AckBody{body.seq}, 64);
+    dispatcher_->Send(m.from, kKaAck, AckBody{body.seq}, kProbeWireBytes);
   });
 }
 
@@ -222,7 +226,7 @@ void TcpKeepAliveDetector::SendProbe(NodeId target) {
   if (!st.probing) return;
   ++st.probes_outstanding;
   uint64_t seq = ++st.probe_seq;
-  dispatcher_->Send(target, kKaProbe, PingBody{seq}, 64);
+  dispatcher_->Send(target, kKaProbe, PingBody{seq}, kProbeWireBytes);
   st.timer = sim_->Schedule(options_.probe_interval, [this, target] {
     auto it2 = conns_.find(target);
     if (it2 == conns_.end()) return;

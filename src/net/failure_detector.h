@@ -2,8 +2,8 @@
 #define REPLIDB_NET_FAILURE_DETECTOR_H_
 
 #include <functional>
+#include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "net/dispatcher.h"
@@ -95,7 +95,9 @@ class HeartbeatDetector : public FailureDetector {
   Dispatcher* dispatcher_;
   HeartbeatOptions options_;
   SuspicionCallback callback_;
-  std::unordered_map<NodeId, Watched> watched_;
+  // Iterated to emit pings: must be ordered, or probe order (and thus
+  // the whole simulated message schedule) would depend on hash order.
+  std::map<NodeId, Watched> watched_;
   std::unique_ptr<sim::PeriodicTask> ticker_;
   uint64_t false_positives_ = 0;
 };
@@ -152,7 +154,9 @@ class TcpKeepAliveDetector : public FailureDetector {
   Dispatcher* dispatcher_;
   TcpKeepAliveOptions options_;
   SuspicionCallback callback_;
-  std::unordered_map<NodeId, ConnState> conns_;
+  // Iterated to emit keepalive probes: ordered for the same reason as
+  // watched_ above.
+  std::map<NodeId, ConnState> conns_;
 };
 
 /// \brief Responder half of the TCP keep-alive model: the peer's kernel

@@ -6,7 +6,7 @@
 #include <functional>
 #include <map>
 #include <string>
-#include <unordered_map>
+#include "common/hashing.h"
 #include <vector>
 
 #include "common/rng.h"
@@ -128,8 +128,10 @@ class Network {
   sim::Simulator* sim_;
   NetworkOptions options_;
   Rng rng_;
-  std::unordered_map<NodeId, NodeState> nodes_;
-  std::unordered_map<NodeId, int> partition_group_;  // empty = no partition
+  // Iterated when computing partition groups: ordered so group
+  // assignment of unlisted nodes never depends on hash order.
+  std::map<NodeId, NodeState> nodes_;
+  HashMap<NodeId, int> partition_group_;  // empty = no partition
   uint64_t messages_sent_ = 0;
   uint64_t messages_delivered_ = 0;
   uint64_t bytes_delivered_ = 0;

@@ -36,43 +36,43 @@ MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(const std::string& name,
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::OrderedMutex> lock(mu_);
   return FindOrCreate(name, MetricKind::kCounter)->counter.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::OrderedMutex> lock(mu_);
   return FindOrCreate(name, MetricKind::kGauge)->gauge.get();
 }
 
 HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::OrderedMutex> lock(mu_);
   return FindOrCreate(name, MetricKind::kHistogram)->histogram.get();
 }
 
 const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::OrderedMutex> lock(mu_);
   auto it = metrics_.find(name);
   if (it == metrics_.end() || it->second.kind != MetricKind::kCounter) return nullptr;
   return it->second.counter.get();
 }
 
 const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::OrderedMutex> lock(mu_);
   auto it = metrics_.find(name);
   if (it == metrics_.end() || it->second.kind != MetricKind::kGauge) return nullptr;
   return it->second.gauge.get();
 }
 
 Histogram MetricsRegistry::HistogramCopy(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::OrderedMutex> lock(mu_);
   auto it = metrics_.find(name);
   if (it == metrics_.end() || it->second.kind != MetricKind::kHistogram) return {};
   return it->second.histogram->Snapshot();
 }
 
 std::vector<MetricSample> MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::OrderedMutex> lock(mu_);
   std::vector<MetricSample> out;
   out.reserve(metrics_.size());
   for (const auto& [name, entry] : metrics_) {
@@ -197,7 +197,7 @@ std::string MetricsRegistry::DumpJson() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::OrderedMutex> lock(mu_);
   for (auto& [name, entry] : metrics_) {
     (void)name;
     switch (entry.kind) {
@@ -215,7 +215,7 @@ void MetricsRegistry::Reset() {
 }
 
 size_t MetricsRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::OrderedMutex> lock(mu_);
   return metrics_.size();
 }
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/locks.h"
 
 namespace replidb::obs {
 
@@ -53,25 +54,25 @@ class Gauge {
 class HistogramMetric {
  public:
   void Observe(double v) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<common::OrderedMutex> lock(mu_);
     h_.Add(v);
   }
   /// Copy of the underlying histogram (consistent snapshot).
   Histogram Snapshot() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<common::OrderedMutex> lock(mu_);
     return h_;
   }
   size_t count() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<common::OrderedMutex> lock(mu_);
     return h_.count();
   }
   void Reset() {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<common::OrderedMutex> lock(mu_);
     h_.Clear();
   }
 
  private:
-  mutable std::mutex mu_;
+  mutable common::OrderedMutex mu_{common::LockRank::kMetricHistogram};
   Histogram h_;
 };
 
@@ -137,7 +138,7 @@ class MetricsRegistry {
 
   Entry* FindOrCreate(const std::string& name, MetricKind kind);
 
-  mutable std::mutex mu_;
+  mutable common::OrderedMutex mu_{common::LockRank::kMetricsRegistry};
   std::map<std::string, Entry> metrics_;
 };
 

@@ -27,7 +27,7 @@ const char* Tracer::InitFromEnv() {
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::OrderedMutex> lock(mu_);
   events_.clear();
   dropped_ = 0;
 }
@@ -53,7 +53,7 @@ bool Tracer::PushLocked(Event e) {
 void Tracer::Span(const std::string& track, const std::string& name,
                   int64_t start_us, int64_t end_us, uint64_t txn) {
   if (!enabled_) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::OrderedMutex> lock(mu_);
   Event e;
   e.phase = 'X';
   e.tid = TrackIdLocked(track);
@@ -68,7 +68,7 @@ void Tracer::Span(const std::string& track, const std::string& name,
 void Tracer::Instant(const std::string& track, const std::string& name,
                      int64_t ts_us, uint64_t txn) {
   if (!enabled_) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::OrderedMutex> lock(mu_);
   Event e;
   e.phase = 'i';
   e.tid = TrackIdLocked(track);
@@ -83,7 +83,7 @@ void Tracer::Instant(const std::string& track, const std::string& name,
 void Tracer::CounterSample(const std::string& series, int64_t ts_us,
                            double value) {
   if (!enabled_) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::OrderedMutex> lock(mu_);
   Event e;
   e.phase = 'C';
   e.tid = 0;
@@ -96,7 +96,7 @@ void Tracer::CounterSample(const std::string& series, int64_t ts_us,
 }
 
 size_t Tracer::event_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::OrderedMutex> lock(mu_);
   return events_.size();
 }
 
@@ -132,7 +132,7 @@ void AppendJsonEscaped(std::string* out, const std::string& s) {
 }  // namespace
 
 std::string Tracer::ChromeTraceJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::OrderedMutex> lock(mu_);
   std::string out;
   out.reserve(events_.size() * 96 + 1024);
   out += "{\"traceEvents\":[";
@@ -202,7 +202,7 @@ bool Tracer::WriteChromeTrace(const std::string& path) const {
 }
 
 void Tracer::DumpTimeline(std::FILE* out, size_t limit) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::OrderedMutex> lock(mu_);
   std::vector<const Event*> ordered;
   ordered.reserve(events_.size());
   for (const Event& e : events_) ordered.push_back(&e);

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <cstdio>
+
+#include "common/locks.h"
 #include <map>
 #include <mutex>
 #include <string>
@@ -99,7 +101,7 @@ class Tracer {
   bool PushLocked(Event e);
 
   bool enabled_ = false;
-  mutable std::mutex mu_;
+  mutable common::OrderedMutex mu_{common::LockRank::kTracer};
   std::vector<Event> events_;
   std::map<std::string, int32_t> track_ids_;
   std::vector<std::string> track_names_;

@@ -1,6 +1,6 @@
 #include "ship/codec.h"
 
-#include <unordered_map>
+#include "common/hashing.h"
 
 #include "engine/types.h"
 #include "ship/wire.h"
@@ -54,7 +54,7 @@ class StringDict {
 
  private:
   bool enabled_;
-  std::unordered_map<std::string, uint64_t> index_;
+  HashMap<std::string, uint64_t> index_;
 };
 
 class StringUndict {
@@ -175,7 +175,7 @@ EncodedBatch EncodeBatch(
 
   StringDict dict(options.dictionary);
   // Last shipped row per "db.table", the XOR-delta reference.
-  std::unordered_map<std::string, sql::Row> last_rows;
+  HashMap<std::string, sql::Row> last_rows;
   uint64_t prev_version = 0;
   int64_t prev_commit_us = 0;
 
@@ -246,7 +246,7 @@ Result<std::vector<middleware::ReplicationEntry>> DecodeBatch(
   }
 
   StringUndict dict(use_dict);
-  std::unordered_map<std::string, sql::Row> last_rows;
+  HashMap<std::string, sql::Row> last_rows;
   std::vector<middleware::ReplicationEntry> entries;
   entries.reserve(count);
   uint64_t prev_version = 0;

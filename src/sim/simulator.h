@@ -4,8 +4,9 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
+
+#include "common/hashing.h"
 
 namespace replidb::sim {
 
@@ -100,7 +101,7 @@ class Simulator {
   uint64_t events_executed_ = 0;
   bool stop_requested_ = false;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
-  std::unordered_set<EventId> cancelled_;
+  HashSet<EventId> cancelled_;
 };
 
 /// \brief Repeating task helper (heartbeats, pollers, batch shippers).

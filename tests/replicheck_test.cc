@@ -1,0 +1,376 @@
+// End-to-end tests for tools/replicheck: each rule gets a violating and a
+// clean fixture tree, plus allow-directive suppression/inventory and exit
+// codes. The binary path is injected by CMake as REPLICHECK_BIN.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr combined.
+};
+
+/// One disposable source tree per test case, rooted in the gtest temp dir.
+class ReplicheckTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    root_ = fs::path(::testing::TempDir()) / "replicheck" / info->name();
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+
+  void TearDown() override { fs::remove_all(root_); }
+
+  void WriteFile(const std::string& rel, const std::string& content) {
+    fs::path p = root_ / rel;
+    fs::create_directories(p.parent_path());
+    std::ofstream out(p);
+    ASSERT_TRUE(out.is_open()) << p;
+    out << content;
+  }
+
+  RunResult Run(const std::string& extra_args = "") {
+    std::string cmd = std::string(REPLICHECK_BIN) + " --root " +
+                      root_.string() + " " + extra_args + " 2>&1";
+    RunResult r;
+    FILE* pipe = popen(cmd.c_str(), "r");
+    EXPECT_NE(pipe, nullptr) << cmd;
+    if (!pipe) return r;
+    char buf[4096];
+    size_t n;
+    while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0) {
+      r.output.append(buf, n);
+    }
+    int status = pclose(pipe);
+    r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return r;
+  }
+
+  fs::path root_;
+};
+
+constexpr char kCleanSource[] = R"cc(
+#include "common/rng.h"
+int Sum(int a, int b) { return a + b; }
+)cc";
+
+TEST_F(ReplicheckTest, CleanTreeExitsZero) {
+  WriteFile("src/clean.cc", kCleanSource);
+  RunResult r = Run();
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 violations"), std::string::npos) << r.output;
+}
+
+TEST_F(ReplicheckTest, MissingTreeExitsTwo) {
+  RunResult r = Run();  // Empty root: no src/tests/bench at all.
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+TEST_F(ReplicheckTest, ListRulesExitsZero) {
+  WriteFile("src/clean.cc", kCleanSource);
+  RunResult r = Run("--list-rules");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  for (const char* rule :
+       {"raw-rng", "wall-clock", "addr-identity", "unordered-iter",
+        "send-size", "raw-mutex", "lock-rank", "codec-registry"}) {
+    EXPECT_NE(r.output.find(rule), std::string::npos)
+        << "rule " << rule << " missing from --list-rules\n" << r.output;
+  }
+}
+
+// --- raw-rng ---------------------------------------------------------------
+
+TEST_F(ReplicheckTest, RawRngEngineIsFlagged) {
+  WriteFile("src/gen.cc", R"cc(
+#include <random>
+std::mt19937 g_gen(42);
+int Roll() { return rand(); }
+)cc");
+  RunResult r = Run();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[raw-rng] 'mt19937'"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("[raw-rng] 'rand'"), std::string::npos) << r.output;
+}
+
+TEST_F(ReplicheckTest, RawRngAppliesToTestsToo) {
+  WriteFile("tests/gen_test.cc", "std::mt19937_64 rng(7);\n");
+  RunResult r = Run();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("raw-rng"), std::string::npos) << r.output;
+}
+
+TEST_F(ReplicheckTest, RngMentionsInCommentsAndStringsAreIgnored) {
+  WriteFile("src/doc.cc", R"cc(
+// std::mt19937 would be wrong here; rand() too.
+const char* kNote = "uses mt19937 internally";
+int F() { return 1; }
+)cc");
+  RunResult r = Run();
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(ReplicheckTest, MemberNamedRandIsNotLibcRand) {
+  WriteFile("src/member.cc", "int G(Rng& r) { return r.rand() + p->rand(); }\n");
+  RunResult r = Run();
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+// --- wall-clock ------------------------------------------------------------
+
+TEST_F(ReplicheckTest, WallClockInSrcIsFlagged) {
+  WriteFile("src/now.cc", R"cc(
+#include <chrono>
+long Now() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+long Epoch() {
+  long e = time(nullptr);
+  return e;
+}
+)cc");
+  RunResult r = Run();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[wall-clock] 'system_clock'"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("[wall-clock] 'time()'"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(ReplicheckTest, WallClockOutsideSrcIsAllowed) {
+  // Tests may time themselves; only simulation code is clock-restricted.
+  WriteFile("tests/bench_test.cc",
+            "auto t = std::chrono::steady_clock::now();\n");
+  RunResult r = Run();
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+// --- addr-identity ---------------------------------------------------------
+
+TEST_F(ReplicheckTest, PointerFormatAndPointerKeyedMapAreFlagged) {
+  WriteFile("src/addr.cc", R"cc(
+#include <cstdio>
+#include <map>
+struct Widget {};
+std::map<Widget*, int> g_by_widget;
+void Dump(Widget* w) { std::printf("widget at %p\n", (void*)w); }
+)cc");
+  RunResult r = Run();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("addr-identity"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("%p"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("keyed by a pointer"), std::string::npos) << r.output;
+}
+
+TEST_F(ReplicheckTest, ValueKeyedMapIsClean) {
+  WriteFile("src/val.cc",
+            "#include <map>\n#include <string>\n"
+            "std::map<std::string, int> g_by_name;\n");
+  RunResult r = Run();
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+// --- unordered-iter --------------------------------------------------------
+
+TEST_F(ReplicheckTest, UnorderedIterationInReplicationDirIsFlagged) {
+  WriteFile("src/engine/scan.cc", R"cc(
+#include <unordered_map>
+std::unordered_map<int, int> g_rows;
+int Total() {
+  int sum = 0;
+  for (const auto& kv : g_rows) sum += kv.second;
+  return sum;
+}
+)cc");
+  RunResult r = Run();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[unordered-iter]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("g_rows"), std::string::npos) << r.output;
+}
+
+TEST_F(ReplicheckTest, UnorderedIterationResolvesThroughIncludes) {
+  // The container lives in a header; the iteration in a .cc that includes
+  // it (quoted includes are rooted at src/).
+  WriteFile("src/engine/table.h",
+            "#include <unordered_map>\n"
+            "inline std::unordered_map<int, int> g_pending;\n");
+  WriteFile("src/engine/table.cc", R"cc(
+#include "engine/table.h"
+void Wipe() {
+  for (auto it = g_pending.begin(); it != g_pending.end(); ++it) {}
+}
+)cc");
+  RunResult r = Run();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[unordered-iter]"), std::string::npos) << r.output;
+}
+
+TEST_F(ReplicheckTest, UnorderedIterationOutsideTaggedDirsIsClean) {
+  WriteFile("src/obs/stats.cc", R"cc(
+#include <unordered_map>
+std::unordered_map<int, int> g_counts;
+int Total() {
+  int sum = 0;
+  for (const auto& kv : g_counts) sum += kv.second;
+  return sum;
+}
+)cc");
+  RunResult r = Run();
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+// --- allow directives ------------------------------------------------------
+
+TEST_F(ReplicheckTest, AllowCommentSuppressesAndIsInventoried) {
+  WriteFile("src/engine/scan.cc", R"cc(
+#include <unordered_map>
+std::unordered_map<int, int> g_rows;
+int Total() {
+  int sum = 0;
+  // replicheck:allow(unordered-iter) commutative sum; order never escapes
+  for (const auto& kv : g_rows) sum += kv.second;
+  return sum;
+}
+)cc");
+  RunResult r = Run();
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("1 suppressed by 1 allow directive (0 unused)"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST_F(ReplicheckTest, AllowForTheWrongRuleDoesNotSuppress) {
+  WriteFile("src/engine/scan.cc", R"cc(
+#include <unordered_map>
+std::unordered_map<int, int> g_rows;
+int Total() {
+  int sum = 0;
+  // replicheck:allow(raw-rng) wrong rule on purpose
+  for (const auto& kv : g_rows) sum += kv.second;
+  return sum;
+}
+)cc");
+  RunResult r = Run();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[unordered-iter]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("[UNUSED]"), std::string::npos) << r.output;
+}
+
+TEST_F(ReplicheckTest, StaleAllowIsReportedUnused) {
+  WriteFile("src/tidy.cc",
+            "// replicheck:allow(raw-rng) leftover from deleted code\n"
+            "int F() { return 1; }\n");
+  RunResult r = Run();
+  EXPECT_EQ(r.exit_code, 0) << r.output;  // Unused allows warn, not fail.
+  EXPECT_NE(r.output.find("[UNUSED]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("(1 unused)"), std::string::npos) << r.output;
+}
+
+// --- send-size -------------------------------------------------------------
+
+TEST_F(ReplicheckTest, BareLiteralSendSizeIsFlagged) {
+  WriteFile("src/net/ping.cc", R"cc(
+void Ping(Net& net_) {
+  net_.Send(1, "ping", Body{}, 64);
+}
+)cc");
+  RunResult r = Run();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[send-size]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("'64'"), std::string::npos) << r.output;
+}
+
+TEST_F(ReplicheckTest, NamedOrComputedSendSizeIsClean) {
+  WriteFile("src/net/ping.cc", R"cc(
+constexpr long kPingWireBytes = 64;
+void Ping(Net& net_, long payload) {
+  net_.Send(1, "ping", Body{}, kPingWireBytes);
+  net_.Send(2, "data", Body{}, payload + 48);
+}
+)cc");
+  RunResult r = Run();
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+// --- raw-mutex / lock-rank -------------------------------------------------
+
+TEST_F(ReplicheckTest, RawStdMutexIsFlagged) {
+  WriteFile("src/svc.cc", "#include <mutex>\nstd::mutex g_mu;\n");
+  RunResult r = Run();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[raw-mutex]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("OrderedMutex"), std::string::npos) << r.output;
+}
+
+TEST_F(ReplicheckTest, UndeclaredLockRankIsFlagged) {
+  WriteFile("src/common/locks.h",
+            "enum class LockRank { kLogClock = 10, kTracer = 40, };\n");
+  WriteFile("src/svc.cc",
+            "OrderedMutex a{LockRank::kLogClock};\n"   // Declared: clean.
+            "OrderedMutex b{LockRank::kBogus};\n");    // Not in the table.
+  RunResult r = Run();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[lock-rank]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("kBogus"), std::string::npos) << r.output;
+  EXPECT_EQ(r.output.find("kLogClock"), std::string::npos) << r.output;
+}
+
+// --- codec-registry --------------------------------------------------------
+
+TEST_F(ReplicheckTest, UnregisteredWireMessageIsFlagged) {
+  WriteFile("src/middleware/messages.h",
+            "struct PingMsg { int a; };\n"
+            "struct PongMsg { int b; };\n");
+  WriteFile("src/middleware/wire_registry.h",
+            "#define REPLIDB_WIRE_MESSAGES(X) \\\n"
+            "  X(PingMsg, kMsgPing)\n");
+  RunResult r = Run();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[codec-registry]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("PongMsg"), std::string::npos) << r.output;
+  EXPECT_EQ(r.output.find("struct PingMsg is not registered"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST_F(ReplicheckTest, FullyRegisteredMessagesAreClean) {
+  WriteFile("src/middleware/messages.h",
+            "struct PingMsg { int a; };\n");
+  WriteFile("src/middleware/wire_registry.h",
+            "#define REPLIDB_WIRE_MESSAGES(X) \\\n"
+            "  X(PingMsg, kMsgPing)\n");
+  RunResult r = Run();
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+// --- the real tree ---------------------------------------------------------
+
+TEST_F(ReplicheckTest, RealSourceTreeIsClean) {
+  // The same invocation the replicheck_tree ctest makes, minus the
+  // compile-commands database (headers + all sources walked directly).
+  std::string cmd =
+      std::string(REPLICHECK_BIN) + " --root " + REPLICHECK_SOURCE_ROOT +
+      " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  std::string output;
+  char buf[4096];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0) output.append(buf, n);
+  int status = pclose(pipe);
+  EXPECT_EQ(WIFEXITED(status) ? WEXITSTATUS(status) : -1, 0) << output;
+  EXPECT_NE(output.find("0 violations"), std::string::npos) << output;
+  EXPECT_NE(output.find("(0 unused)"), std::string::npos) << output;
+}
+
+}  // namespace

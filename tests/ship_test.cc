@@ -1,11 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <memory>
-#include <random>
 #include <string>
 #include <tuple>
 #include <vector>
 
+#include "common/rng.h"
 #include "middleware/common.h"
 #include "net/dispatcher.h"
 #include "net/network.h"
@@ -21,53 +21,53 @@ using sim::kMillisecond;
 
 // --- Codec -------------------------------------------------------------
 
-sql::Value RandomValue(std::mt19937_64& rng) {
-  switch (rng() % 6) {
+sql::Value RandomValue(Rng& rng) {
+  switch (rng.Next() % 6) {
     case 0:
       return sql::Value::Null();
     case 1:
-      return sql::Value::Int(static_cast<int64_t>(rng()));
+      return sql::Value::Int(static_cast<int64_t>(rng.Next()));
     case 2:
-      return sql::Value::Double(static_cast<double>(rng() % 100000) / 7.0);
+      return sql::Value::Double(static_cast<double>(rng.Next() % 100000) / 7.0);
     case 3: {
-      std::string s(rng() % 24, 'a');
-      for (char& c : s) c = static_cast<char>('a' + rng() % 26);
+      std::string s(rng.Next() % 24, 'a');
+      for (char& c : s) c = static_cast<char>('a' + rng.Next() % 26);
       return sql::Value::String(std::move(s));
     }
     case 4:
-      return sql::Value::Bool((rng() & 1) != 0);
+      return sql::Value::Bool((rng.Next() & 1) != 0);
     default:
       // Small ints: the common case XOR-delta is built for.
-      return sql::Value::Int(static_cast<int64_t>(rng() % 1000));
+      return sql::Value::Int(static_cast<int64_t>(rng.Next() % 1000));
   }
 }
 
-ReplicationEntry RandomEntry(std::mt19937_64& rng, uint64_t version) {
+ReplicationEntry RandomEntry(Rng& rng, uint64_t version) {
   ReplicationEntry e;
   e.version = version;
-  e.origin_commit_us = static_cast<int64_t>(version * 1000 + rng() % 500);
-  e.use_statements = (rng() % 4) == 0;
-  if (e.use_statements || (rng() % 3) == 0) {
-    size_t n = 1 + rng() % 3;
+  e.origin_commit_us = static_cast<int64_t>(version * 1000 + rng.Next() % 500);
+  e.use_statements = (rng.Next() % 4) == 0;
+  if (e.use_statements || (rng.Next() % 3) == 0) {
+    size_t n = 1 + rng.Next() % 3;
     for (size_t i = 0; i < n; ++i) {
-      e.statements.push_back("UPDATE t" + std::to_string(rng() % 4) +
-                             " SET v = " + std::to_string(rng() % 100));
+      e.statements.push_back("UPDATE t" + std::to_string(rng.Next() % 4) +
+                             " SET v = " + std::to_string(rng.Next() % 100));
     }
   }
-  size_t ops = rng() % 5;
+  size_t ops = rng.Next() % 5;
   for (size_t i = 0; i < ops; ++i) {
     engine::WriteOp op;
-    op.kind = static_cast<engine::WriteOpKind>(rng() % 3);
-    op.database = "db" + std::to_string(rng() % 2);
-    op.table = "table" + std::to_string(rng() % 3);
-    op.primary_key = sql::Value::Int(static_cast<int64_t>(rng() % 10000));
+    op.kind = static_cast<engine::WriteOpKind>(rng.Next() % 3);
+    op.database = "db" + std::to_string(rng.Next() % 2);
+    op.table = "table" + std::to_string(rng.Next() % 3);
+    op.primary_key = sql::Value::Int(static_cast<int64_t>(rng.Next() % 10000));
     if (op.kind != engine::WriteOpKind::kDelete) {
-      size_t width = 1 + rng() % 5;
+      size_t width = 1 + rng.Next() % 5;
       for (size_t c = 0; c < width; ++c) op.after.push_back(RandomValue(rng));
     }
     e.writeset.ops.push_back(std::move(op));
   }
-  e.writeset.incomplete = (rng() % 16) == 0;
+  e.writeset.incomplete = (rng.Next() % 16) == 0;
   return e;
 }
 
@@ -107,14 +107,14 @@ TEST(ShipCodecTest, RoundTripsRandomBatchesUnderAllOptionCombos) {
       CodecOptions opts;
       opts.dictionary = dict;
       opts.xor_delta = xd;
-      std::mt19937_64 rng(1234 + (dict ? 2 : 0) + (xd ? 1 : 0));
+      Rng rng(1234 + (dict ? 2 : 0) + (xd ? 1 : 0));
       for (int round = 0; round < 40; ++round) {
         std::vector<ReplicationEntry> batch;
-        size_t n = rng() % 8;  // Includes the empty batch.
-        uint64_t version = 1 + rng() % 100;
+        size_t n = rng.Next() % 8;  // Includes the empty batch.
+        uint64_t version = 1 + rng.Next() % 100;
         for (size_t i = 0; i < n; ++i) {
           batch.push_back(RandomEntry(rng, version));
-          version += 1 + rng() % 3;
+          version += 1 + rng.Next() % 3;
         }
         EncodedBatch enc = EncodeBatch(batch, opts);
         EXPECT_EQ(enc.encoded_size_bytes,
@@ -185,11 +185,11 @@ TEST(ShipCodecTest, RepetitiveBatchesCompress) {
 }
 
 TEST(ShipCodecTest, FuzzedInputsNeverCrash) {
-  std::mt19937_64 rng(999);
+  Rng rng(999);
   // Pure garbage.
   for (int i = 0; i < 2000; ++i) {
-    std::string junk(rng() % 300, '\0');
-    for (char& c : junk) c = static_cast<char>(rng());
+    std::string junk(rng.Next() % 300, '\0');
+    for (char& c : junk) c = static_cast<char>(rng.Next());
     auto dec = DecodeBatch(junk);
     if (dec.ok()) continue;  // Vanishingly unlikely but legal.
   }
@@ -199,7 +199,7 @@ TEST(ShipCodecTest, FuzzedInputsNeverCrash) {
   EncodedBatch enc = EncodeBatch(batch, CodecOptions{});
   for (int i = 0; i < 500; ++i) {
     std::string mutated = enc.payload;
-    mutated[rng() % mutated.size()] ^= static_cast<char>(1 + rng() % 255);
+    mutated[rng.Next() % mutated.size()] ^= static_cast<char>(1 + rng.Next() % 255);
     auto dec = DecodeBatch(mutated);  // Must return, never crash.
   }
   for (size_t len = 0; len < enc.payload.size(); ++len) {
@@ -374,12 +374,12 @@ TEST(ShipPipelineTest, FlushScheduleIsDeterministic) {
     opts.batch_max_bytes = 400;
     ShipPipeline pipe(&env.sim, env.sender.get(), opts);
     pipe.SetPeers({2});
-    std::mt19937_64 rng(seed);
+    Rng rng(seed);
     uint64_t version = 0;
     // Random arrival process: bursts at random offsets.
     for (int burst = 0; burst < 30; ++burst) {
-      sim::TimePoint at = static_cast<sim::TimePoint>(rng() % 50) * 100;
-      size_t n = 1 + rng() % 6;
+      sim::TimePoint at = static_cast<sim::TimePoint>(rng.Next() % 50) * 100;
+      size_t n = 1 + rng.Next() % 6;
       std::vector<ReplicationEntry> entries;
       for (size_t i = 0; i < n; ++i) entries.push_back(RandomEntry(rng, ++version));
       env.sim.Schedule(at, [&pipe, entries] {

@@ -1,0 +1,185 @@
+// Sim-scheduler determinism harness: every tier-1 scenario must produce
+// *identical* commit sequences and table digests no matter what
+// REPLIDB_HASH_SEED perturbs the unordered-container hash order to.
+//
+// This is the runtime teeth behind replicheck's `unordered-iter` rule: a
+// latent iteration over a hash container that reaches the replication
+// stream passes every functional test (iteration order is stable within
+// one build), but differs between two runs with different hash seeds —
+// turning the silent-divergence hazard of the paper's §4 into a hard,
+// attributable failure here.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/hashing.h"
+#include "common/rng.h"
+#include "engine/rdbms.h"
+#include "middleware/cluster.h"
+#include "workload/load_generator.h"
+#include "workload/workloads.h"
+
+namespace replidb {
+namespace {
+
+using middleware::Cluster;
+using middleware::ClusterOptions;
+using middleware::ReplicationMode;
+using sim::kSecond;
+
+/// Mixed read/write workload touching two tables, with enough write
+/// concurrency to exercise certification kills, held-transaction wipes,
+/// and the ship pipeline — the code paths that iterate containers.
+class MixedWorkload : public workload::Workload {
+ public:
+  std::vector<std::string> SetupStatements() const override {
+    std::vector<std::string> s;
+    s.push_back(
+        "CREATE TABLE accounts (id INT PRIMARY KEY, balance INT, owner "
+        "VARCHAR(32))");
+    s.push_back("CREATE TABLE audit_log (id INT PRIMARY KEY, note VARCHAR(64))");
+    for (int i = 0; i < 40; ++i) {
+      s.push_back("INSERT INTO accounts VALUES (" + std::to_string(i) + ", " +
+                  std::to_string(1000 + i) + ", 'user" + std::to_string(i) +
+                  "')");
+    }
+    return s;
+  }
+
+  middleware::TxnRequest Next(Rng* rng) override {
+    middleware::TxnRequest req;
+    uint64_t pick = rng->Uniform(10);
+    if (pick < 5) {
+      req.read_only = true;
+      req.statements.push_back(
+          "SELECT * FROM accounts WHERE id = " +
+          std::to_string(rng->UniformRange(0, 39)));
+    } else if (pick < 8) {
+      req.read_only = false;
+      req.statements.push_back(
+          "UPDATE accounts SET balance = balance + " +
+          std::to_string(rng->UniformRange(1, 9)) + " WHERE id = " +
+          std::to_string(rng->UniformRange(0, 39)));
+    } else {
+      req.read_only = false;
+      int id = static_cast<int>(next_log_id_++);
+      req.statements.push_back("INSERT INTO audit_log VALUES (" +
+                               std::to_string(id) + ", 'note" +
+                               std::to_string(id % 7) + "')");
+    }
+    return req;
+  }
+
+ private:
+  uint64_t next_log_id_ = 1;
+};
+
+/// Serialized observable outcome of one run: per-replica commit sequence
+/// (binlog order, statements, conflict keys) and per-replica table digests.
+std::string Fingerprint(const Cluster& c) {
+  std::ostringstream out;
+  for (size_t r = 0; r < c.replicas.size(); ++r) {
+    const engine::Rdbms& db = *c.replicas[r]->engine();
+    out << "replica " << r << " commits:\n";
+    for (const engine::BinlogEntry& e : db.binlog()) {
+      out << "  seq=" << e.commit_seq;
+      for (const std::string& s : e.statements) out << " stmt{" << s << "}";
+      for (const std::string& k : e.writeset.ConflictKeys()) {
+        out << " key{" << k << "}";
+      }
+      out << "\n";
+    }
+    out << "replica " << r << " digests:\n";
+    for (const auto& [table, digest] : db.TableDigests()) {
+      out << "  " << table << "=" << digest << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string RunScenario(ReplicationMode mode, uint64_t hash_seed) {
+  // Perturb hash order for every container constructed from here on. The
+  // workload/scenario seeds stay fixed: the only degree of freedom between
+  // two runs is unordered-container iteration order.
+  SetHashSeed(hash_seed);
+  MixedWorkload w;
+  ClusterOptions opts;
+  opts.replicas = 3;
+  opts.drivers = 1;
+  opts.controller.mode = mode;
+  opts.controller.seed = 42;
+  Cluster c(std::move(opts));
+  c.Setup(w.SetupStatements());
+  c.Start();
+  workload::ClosedLoopGenerator gen(&c.sim, c.driver(), &w, /*clients=*/8,
+                                    /*think=*/0, /*seed=*/42);
+  gen.Run(3 * kSecond);
+  c.sim.RunFor(kSecond);  // Drain shipping/apply backlogs.
+  std::string fp = Fingerprint(c);
+  SetHashSeed(0);
+  return fp;
+}
+
+class SimDeterminismTest
+    : public ::testing::TestWithParam<ReplicationMode> {};
+
+TEST_P(SimDeterminismTest, CommitSequenceAndDigestsAreHashSeedInvariant) {
+  const std::string a = RunScenario(GetParam(), 0x00C0FFEEu);
+  const std::string b = RunScenario(GetParam(), 0xFEEDFACEDEADBEEFu);
+  ASSERT_FALSE(a.empty());
+  ASSERT_NE(a.find("stmt{"), std::string::npos)
+      << "scenario must commit some writes";
+  EXPECT_EQ(a, b)
+      << "commit sequence or table digests changed with the hash seed: an "
+         "unordered-container iteration order is leaking into the "
+         "replication stream (see replicheck's unordered-iter rule)";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, SimDeterminismTest,
+    ::testing::Values(ReplicationMode::kMasterSlaveAsync,
+                      ReplicationMode::kMasterSlaveSync,
+                      ReplicationMode::kMultiMasterStatement,
+                      ReplicationMode::kMultiMasterCertification),
+    [](const ::testing::TestParamInfo<ReplicationMode>& info) {
+      switch (info.param) {
+        case ReplicationMode::kMasterSlaveAsync: return std::string("MasterSlaveAsync");
+        case ReplicationMode::kMasterSlaveSync: return std::string("MasterSlaveSync");
+        case ReplicationMode::kMultiMasterStatement: return std::string("MultiMasterStatement");
+        case ReplicationMode::kMultiMasterCertification: return std::string("MultiMasterCertification");
+      }
+      return std::string("Unknown");
+    });
+
+TEST(HashSeedTest, SeedActuallyPerturbsIterationOrder) {
+  // The harness is vacuous if the seed doesn't move iteration order: build
+  // the same map under two seeds and require different traversals (with
+  // enough elements, identical order under both seeds is ~impossible).
+  auto order_under = [](uint64_t seed) {
+    SetHashSeed(seed);
+    HashMap<int, int> m;
+    for (int i = 0; i < 200; ++i) m[i] = i;
+    std::string order;
+    for (const auto& [k, v] : m) order += std::to_string(k) + ",";
+    SetHashSeed(0);
+    return order;
+  };
+  EXPECT_NE(order_under(0x1234), order_under(0xABCDEF0123456789u))
+      << "SeededHash must vary bucket assignment with the seed";
+}
+
+TEST(HashSeedTest, EnvSeedIsReadable) {
+  // REPLIDB_HASH_SEED is consumed at first use; the in-process override
+  // must round-trip so the double-run harness can perturb reliably.
+  uint64_t prev = HashSeed();
+  SetHashSeed(77);
+  EXPECT_EQ(HashSeed(), 77u);
+  SetHashSeed(prev);
+}
+
+}  // namespace
+}  // namespace replidb

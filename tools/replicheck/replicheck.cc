@@ -1,0 +1,869 @@
+// replicheck — repo-specific determinism & concurrency lint for replidb.
+//
+// The paper's central practical gap is *silent replica divergence*
+// (Cecchet et al., SIGMOD'08 §4): nondeterminism that leaks into the
+// replication stream corrupts replicas without raising any error. This
+// tool enforces the repo invariants that keep our own C++ on the right
+// side of that line, as a token-level analyzer over the tree (no libclang
+// dependency). It runs as a ctest and a CI gate.
+//
+// Rules (each can be waived per-site with
+//   `// replicheck:allow(<rule>[,<rule>...]) <reason>`
+// on the flagged line or the line above; every allow is inventoried):
+//
+//   raw-rng        rand()/srand()/std::random_device/std::mt19937 & friends
+//                  anywhere outside src/common/rng.h — all randomness goes
+//                  through replidb::Rng with an explicit plumbed seed.
+//   wall-clock     system_clock/steady_clock/high_resolution_clock,
+//                  gettimeofday/clock_gettime/timespec_get, argless time()
+//                  or clock() in src/ — simulation code runs on virtual
+//                  time only.
+//   addr-identity  "%p" in a format string, or std::map/std::set keyed by
+//                  a pointer type — addresses vary run to run, so both are
+//                  run-local identity leaking into ordered output.
+//   unordered-iter iteration (range-for or .begin()) over an
+//                  unordered_map/unordered_set/HashMap/HashSet in a
+//                  replication-visible directory (src/engine, src/ship,
+//                  src/middleware, src/gcs, src/audit) — hash order must
+//                  never reach the replication stream.
+//   send-size      a Send(...) call site whose size_bytes argument is a
+//                  bare integer literal (outside tests/bench) — sizes must
+//                  be named constants or computed from the payload.
+//   codec-registry a struct declared in src/middleware/messages.h that is
+//                  missing from the REPLIDB_WIRE_MESSAGES inventory in
+//                  src/middleware/wire_registry.h.
+//   raw-mutex      a std::mutex/recursive_mutex/shared_mutex declared
+//                  outside src/common/locks.h — locks carry a declared
+//                  rank via common::OrderedMutex.
+//   lock-rank      a LockRank::k... mention that is not declared in the
+//                  lock-order table in src/common/locks.h.
+//
+// Exit codes: 0 clean, 1 violations found, 2 usage/configuration error.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Source model
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum Kind { kIdent, kNumber, kPunct } kind;
+  std::string text;
+  int line;
+};
+
+struct AllowDirective {
+  int line = 0;                    // Line the comment appears on.
+  std::vector<std::string> rules;  // Rules it waives.
+  std::string reason;
+  bool used = false;
+};
+
+struct SourceFile {
+  std::string rel_path;            // Relative to --root, '/'-separated.
+  std::vector<Token> tokens;
+  std::vector<AllowDirective> allows;
+  // Line -> concatenated string-literal contents on that line (for %p).
+  std::map<int, std::string> strings_by_line;
+  std::vector<std::string> includes;  // Quoted #include paths, verbatim.
+};
+
+struct Finding {
+  std::string file;
+  int line;
+  std::string rule;
+  std::string message;
+};
+
+// Strips comments / string / char literals from `text`, recording comment
+// text (for allow directives) and string contents per line. Returns the
+// blanked code (same length/line structure as the input).
+std::string StripAndRecord(const std::string& text, SourceFile* out) {
+  std::string code;
+  code.reserve(text.size());
+  std::map<int, std::string> comments;
+  int line = 1;
+  size_t i = 0;
+  const size_t n = text.size();
+  auto at = [&](size_t k) { return k < n ? text[k] : '\0'; };
+  while (i < n) {
+    char c = text[i];
+    if (c == '\n') {
+      code += '\n';
+      ++line;
+      ++i;
+    } else if (c == '/' && at(i + 1) == '/') {
+      size_t j = i + 2;
+      while (j < n && text[j] != '\n') ++j;
+      comments[line] += text.substr(i + 2, j - (i + 2));
+      code.append(j - i, ' ');
+      i = j;
+    } else if (c == '/' && at(i + 1) == '*') {
+      size_t j = i + 2;
+      while (j < n && !(text[j] == '*' && at(j + 1) == '/')) {
+        if (text[j] == '\n') {
+          comments[line] += '\n';
+          code += '\n';
+          ++line;
+        } else {
+          comments[line] += text[j];
+          code += ' ';
+        }
+        ++j;
+      }
+      if (j < n) j += 2;
+      code += "  ";
+      i = j;
+    } else if (c == '"' || c == '\'') {
+      // Raw strings: R"delim( ... )delim".
+      bool raw = false;
+      if (c == '"' && i > 0 && text[i - 1] == 'R') {
+        raw = true;
+      }
+      code += c;
+      size_t j = i + 1;
+      std::string content;
+      if (raw) {
+        std::string delim;
+        while (j < n && text[j] != '(') delim += text[j++];
+        std::string closer = ")" + delim + "\"";
+        size_t end = text.find(closer, j);
+        if (end == std::string::npos) end = n;
+        for (size_t k = j; k < end && k < n; ++k) {
+          if (text[k] == '\n') {
+            code += '\n';
+            ++line;
+          } else {
+            content += text[k];
+            code += ' ';
+          }
+        }
+        j = std::min(end + closer.size(), n);
+        code += '"';
+      } else {
+        while (j < n && text[j] != c) {
+          if (text[j] == '\\' && j + 1 < n) {
+            content += text[j];
+            content += text[j + 1];
+            code += "  ";
+            j += 2;
+            continue;
+          }
+          if (text[j] == '\n') break;  // Unterminated; be lenient.
+          content += text[j];
+          code += ' ';
+          ++j;
+        }
+        if (j < n && text[j] == c) ++j;
+        code += c;
+      }
+      if (c == '"') out->strings_by_line[line] += content;
+      i = j;
+    } else {
+      code += c;
+      ++i;
+    }
+  }
+  // Allow directives and #include paths come out of the recorded text.
+  for (const auto& [ln, comment] : comments) {
+    size_t pos = comment.find("replicheck:allow(");
+    if (pos == std::string::npos) continue;
+    size_t open = pos + std::strlen("replicheck:allow(");
+    size_t close = comment.find(')', open);
+    if (close == std::string::npos) continue;
+    AllowDirective d;
+    d.line = ln;
+    std::stringstream rules(comment.substr(open, close - open));
+    std::string r;
+    while (std::getline(rules, r, ',')) {
+      r.erase(std::remove_if(r.begin(), r.end(), ::isspace), r.end());
+      if (!r.empty()) d.rules.push_back(r);
+    }
+    std::string reason = comment.substr(close + 1);
+    size_t b = reason.find_first_not_of(" \t");
+    d.reason = b == std::string::npos ? "" : reason.substr(b);
+    size_t e = d.reason.find_last_not_of(" \t\r\n");
+    if (e != std::string::npos) d.reason = d.reason.substr(0, e + 1);
+    out->allows.push_back(std::move(d));
+  }
+  return code;
+}
+
+void Tokenize(const std::string& code, std::vector<Token>* out) {
+  int line = 1;
+  size_t i = 0;
+  const size_t n = code.size();
+  while (i < n) {
+    char c = code[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(code[j])) ||
+                       code[j] == '_')) {
+        ++j;
+      }
+      out->push_back({Token::kIdent, code.substr(i, j - i), line});
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(code[j])) ||
+                       code[j] == '.' || code[j] == '\'')) {
+        ++j;
+      }
+      out->push_back({Token::kNumber, code.substr(i, j - i), line});
+      i = j;
+    } else {
+      out->push_back({Token::kPunct, std::string(1, c), line});
+      ++i;
+    }
+  }
+}
+
+void CollectIncludes(const std::string& text, SourceFile* out) {
+  std::stringstream ss(text);
+  std::string l;
+  while (std::getline(ss, l)) {
+    size_t h = l.find("#include");
+    if (h == std::string::npos) continue;
+    size_t q1 = l.find('"', h);
+    if (q1 == std::string::npos) continue;
+    size_t q2 = l.find('"', q1 + 1);
+    if (q2 == std::string::npos) continue;
+    out->includes.push_back(l.substr(q1 + 1, q2 - q1 - 1));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Analyzer
+// ---------------------------------------------------------------------------
+
+const char* const kAllRules[] = {
+    "raw-rng",       "wall-clock",     "addr-identity", "unordered-iter",
+    "send-size",     "codec-registry", "raw-mutex",     "lock-rank",
+};
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+class Analyzer {
+ public:
+  explicit Analyzer(fs::path root) : root_(std::move(root)) {}
+
+  bool LoadFiles(const std::string& compile_commands);
+  void Run();
+  int Report(bool verbose) const;
+
+ private:
+  SourceFile* Load(const fs::path& abs, const std::string& rel);
+  void Flag(const SourceFile& f, int line, const std::string& rule,
+            const std::string& message);
+  bool Allowed(SourceFile& f, int line, const std::string& rule);
+
+  // The per-file unordered-container declaration names, resolved
+  // transitively through in-repo includes.
+  const std::set<std::string>& UnorderedNames(const std::string& rel);
+
+  void CheckRng(SourceFile& f);
+  void CheckClock(SourceFile& f);
+  void CheckAddrIdentity(SourceFile& f);
+  void CheckUnorderedIter(SourceFile& f);
+  void CheckSendSize(SourceFile& f);
+  void CheckMutex(SourceFile& f);
+  void CheckLockRanks(SourceFile& f, const std::set<std::string>& declared);
+  void CheckCodecRegistry();
+
+  fs::path root_;
+  std::map<std::string, SourceFile> files_;        // rel path -> file
+  std::map<std::string, std::set<std::string>> own_unordered_;
+  std::map<std::string, std::set<std::string>> resolved_unordered_;
+  std::vector<Finding> findings_;
+  int suppressed_ = 0;
+  int lock_sites_ = 0;
+};
+
+SourceFile* Analyzer::Load(const fs::path& abs, const std::string& rel) {
+  std::ifstream in(abs);
+  if (!in) return nullptr;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+  SourceFile f;
+  f.rel_path = rel;
+  std::string code = StripAndRecord(text, &f);
+  Tokenize(code, &f.tokens);
+  CollectIncludes(text, &f);
+  auto [it, _] = files_.insert_or_assign(rel, std::move(f));
+  return &it->second;
+}
+
+bool Analyzer::LoadFiles(const std::string& compile_commands) {
+  std::set<std::string> wanted;
+  if (!compile_commands.empty()) {
+    std::ifstream in(compile_commands);
+    if (!in) {
+      std::fprintf(stderr, "replicheck: cannot read %s\n",
+                   compile_commands.c_str());
+      return false;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    // Minimal JSON scrape: every "file": "<path>" entry.
+    const std::string key = "\"file\"";
+    for (size_t pos = text.find(key); pos != std::string::npos;
+         pos = text.find(key, pos + 1)) {
+      size_t q1 = text.find('"', text.find(':', pos));
+      size_t q2 = text.find('"', q1 + 1);
+      if (q1 == std::string::npos || q2 == std::string::npos) break;
+      std::string path = text.substr(q1 + 1, q2 - q1 - 1);
+      std::error_code ec;
+      fs::path rel = fs::relative(path, root_, ec);
+      if (ec) continue;
+      std::string r = rel.generic_string();
+      if (StartsWith(r, "src/") || StartsWith(r, "tests/") ||
+          StartsWith(r, "bench/")) {
+        wanted.insert(r);
+      }
+    }
+  }
+  // Headers never appear in compile_commands; .cc files only do when no
+  // database was given. Walk the three trees.
+  for (const char* top : {"src", "tests", "bench"}) {
+    fs::path dir = root_ / top;
+    if (!fs::is_directory(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      std::string ext = entry.path().extension().string();
+      bool take = ext == ".h" || ext == ".hpp" ||
+                  (compile_commands.empty() && (ext == ".cc" || ext == ".cpp"));
+      if (take) {
+        wanted.insert(fs::relative(entry.path(), root_).generic_string());
+      }
+    }
+  }
+  if (wanted.empty()) {
+    std::fprintf(stderr, "replicheck: no source files under %s\n",
+                 root_.string().c_str());
+    return false;
+  }
+  for (const std::string& rel : wanted) {
+    if (!Load(root_ / rel, rel)) {
+      std::fprintf(stderr, "replicheck: cannot read %s\n", rel.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Analyzer::Allowed(SourceFile& f, int line, const std::string& rule) {
+  for (AllowDirective& d : f.allows) {
+    if (d.line != line && d.line != line - 1) continue;
+    for (const std::string& r : d.rules) {
+      if (r == rule) {
+        d.used = true;
+        ++suppressed_;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void Analyzer::Flag(const SourceFile& f, int line, const std::string& rule,
+                    const std::string& message) {
+  findings_.push_back({f.rel_path, line, rule, message});
+}
+
+// --- unordered declaration collection --------------------------------------
+
+const std::set<std::string> kUnorderedTypes = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset", "HashMap", "HashSet"};
+
+std::set<std::string> CollectUnorderedDecls(const SourceFile& f) {
+  std::set<std::string> names;
+  const auto& t = f.tokens;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Token::kIdent || !kUnorderedTypes.count(t[i].text)) {
+      continue;
+    }
+    if (t[i + 1].text != "<") continue;
+    // Skip the template argument list.
+    size_t j = i + 1;
+    int depth = 0;
+    for (; j < t.size(); ++j) {
+      if (t[j].text == "<") ++depth;
+      else if (t[j].text == ">") {
+        if (--depth == 0) break;
+      } else if (t[j].text == ";") {
+        break;  // Malformed / not a declaration.
+      }
+    }
+    if (j >= t.size() || t[j].text != ">") continue;
+    ++j;
+    while (j < t.size() && (t[j].text == "&" || t[j].text == "*")) ++j;
+    if (j + 1 < t.size() && t[j].kind == Token::kIdent) {
+      const std::string& next = t[j + 1].text;
+      if (next == ";" || next == "=" || next == "{" || next == "," ||
+          next == ")") {
+        names.insert(t[j].text);
+      }
+    }
+  }
+  return names;
+}
+
+const std::set<std::string>& Analyzer::UnorderedNames(const std::string& rel) {
+  auto it = resolved_unordered_.find(rel);
+  if (it != resolved_unordered_.end()) return it->second;
+  // Insert an empty set first to break include cycles.
+  auto& out = resolved_unordered_[rel];
+  auto own = own_unordered_.find(rel);
+  if (own != own_unordered_.end()) out = own->second;
+  auto fit = files_.find(rel);
+  if (fit != files_.end()) {
+    for (const std::string& inc : fit->second.includes) {
+      // Quoted includes are rooted at src/.
+      std::string target = "src/" + inc;
+      if (files_.count(target)) {
+        const std::set<std::string>& sub = UnorderedNames(target);
+        out.insert(sub.begin(), sub.end());
+      }
+    }
+  }
+  return out;
+}
+
+// --- rules -----------------------------------------------------------------
+
+void Analyzer::CheckRng(SourceFile& f) {
+  if (f.rel_path == "src/common/rng.h") return;
+  static const std::set<std::string> kBanned = {
+      "rand",          "srand",      "rand_r",
+      "random_device", "mt19937",    "mt19937_64",
+      "minstd_rand",   "minstd_rand0", "default_random_engine",
+  };
+  const auto& t = f.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Token::kIdent || !kBanned.count(t[i].text)) continue;
+    // `rand`/`srand` must look like a call; the std engines are flagged on
+    // any mention (declaration or construction).
+    bool call_like = i + 1 < t.size() && t[i + 1].text == "(";
+    bool engine = t[i].text != "rand" && t[i].text != "srand" &&
+                  t[i].text != "rand_r";
+    if (!call_like && !engine) continue;
+    // Member access (foo.rand(), rng->rand()) is someone's API, not libc.
+    if (i > 0 && (t[i - 1].text == "." || t[i - 1].text == ">")) continue;
+    if (Allowed(f, t[i].line, "raw-rng")) continue;
+    Flag(f, t[i].line, "raw-rng",
+         "'" + t[i].text +
+             "' — all randomness goes through replidb::Rng "
+             "(src/common/rng.h) with a seed plumbed from scenario config");
+  }
+}
+
+void Analyzer::CheckClock(SourceFile& f) {
+  if (!StartsWith(f.rel_path, "src/")) return;
+  static const std::set<std::string> kBannedClocks = {
+      "system_clock", "steady_clock", "high_resolution_clock",
+      "gettimeofday", "clock_gettime", "timespec_get", "ftime",
+  };
+  const auto& t = f.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Token::kIdent) continue;
+    const std::string& id = t[i].text;
+    if (kBannedClocks.count(id)) {
+      if (i > 0 && (t[i - 1].text == "." )) continue;
+      if (Allowed(f, t[i].line, "wall-clock")) continue;
+      Flag(f, t[i].line, "wall-clock",
+           "'" + id +
+               "' — simulation code runs on sim::Simulator virtual time; "
+               "wall clocks diverge across replicas (paper §4, NOW())");
+      continue;
+    }
+    // Argless time() / clock(): time(), time(0), time(nullptr), time(NULL).
+    if ((id == "time" || id == "clock") && i + 1 < t.size() &&
+        t[i + 1].text == "(") {
+      if (i > 0 && (t[i - 1].text == "." || t[i - 1].text == ">" ||
+                    t[i - 1].text == ":" || t[i - 1].kind == Token::kIdent)) {
+        continue;  // Member access, qualified name, or a declaration.
+      }
+      size_t j = i + 2;
+      bool argless =
+          j < t.size() &&
+          (t[j].text == ")" ||
+           ((t[j].text == "0" || t[j].text == "nullptr" || t[j].text == "NULL") &&
+            j + 1 < t.size() && t[j + 1].text == ")"));
+      if (!argless) continue;
+      if (Allowed(f, t[i].line, "wall-clock")) continue;
+      Flag(f, t[i].line, "wall-clock",
+           "'" + id + "()' — wall-clock reads are nondeterministic; use the "
+                      "simulator clock");
+    }
+  }
+}
+
+void Analyzer::CheckAddrIdentity(SourceFile& f) {
+  if (!StartsWith(f.rel_path, "src/")) return;
+  for (const auto& [line, content] : f.strings_by_line) {
+    if (content.find("%p") != std::string::npos) {
+      SourceFile& mf = f;
+      if (Allowed(mf, line, "addr-identity")) continue;
+      Flag(f, line, "addr-identity",
+           "\"%p\" formats an address — run-local identity must never reach "
+           "logs or replicated output");
+    }
+  }
+  // std::map / std::set keyed by a pointer: comparison order is address
+  // order, i.e. per-run.
+  static const std::set<std::string> kOrdered = {"map", "set", "multimap",
+                                                 "multiset"};
+  const auto& t = f.tokens;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Token::kIdent || !kOrdered.count(t[i].text)) continue;
+    if (t[i + 1].text != "<") continue;
+    // First top-level template argument.
+    int depth = 1;
+    bool ptr_key = false;
+    size_t j = i + 2;
+    std::string prev;
+    for (; j < t.size() && depth > 0; ++j) {
+      const std::string& x = t[j].text;
+      if (x == "<" || x == "(") ++depth;
+      else if (x == ">" || x == ")") --depth;
+      else if (depth == 1 && x == ",") break;
+      if (depth >= 1) {
+        if (x == "*" && !prev.empty()) ptr_key = true;
+        else if (x != "const") ptr_key = ptr_key && x == "*";
+        prev = x;
+      }
+    }
+    if (ptr_key) {
+      if (Allowed(f, t[i].line, "addr-identity")) continue;
+      Flag(f, t[i].line, "addr-identity",
+           "ordered container keyed by a pointer — iteration order is "
+           "address order, which varies run to run");
+    }
+  }
+}
+
+void Analyzer::CheckUnorderedIter(SourceFile& f) {
+  static const char* const kTagged[] = {"src/engine/", "src/ship/",
+                                        "src/middleware/", "src/gcs/",
+                                        "src/audit/"};
+  bool tagged = false;
+  for (const char* d : kTagged) tagged = tagged || StartsWith(f.rel_path, d);
+  if (!tagged) return;
+  const std::set<std::string>& names = UnorderedNames(f.rel_path);
+  if (names.empty()) return;
+  const auto& t = f.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    // Range-for over an unordered container: for ( ... : NAME )
+    if (t[i].kind == Token::kIdent && t[i].text == "for" &&
+        i + 1 < t.size() && t[i + 1].text == "(") {
+      int depth = 0;
+      size_t colon = 0;
+      size_t close = 0;
+      for (size_t j = i + 1; j < t.size(); ++j) {
+        const std::string& x = t[j].text;
+        if (x == "(" || x == "[" || x == "{") ++depth;
+        else if (x == ")" || x == "]" || x == "}") {
+          if (--depth == 0) { close = j; break; }
+        } else if (x == ":" && depth == 1 && colon == 0) {
+          // Skip `::` qualifications.
+          if (t[j - 1].text == ":" || (j + 1 < t.size() && t[j + 1].text == ":")) {
+            continue;
+          }
+          colon = j;
+        } else if (x == ";" && depth == 1) {
+          colon = 0;  // Classic for; no range.
+          break;
+        }
+      }
+      if (colon != 0 && close > colon) {
+        // Sequence expression: take the final identifier in the chain if
+        // the whole range is an identifier chain (a.b->c_).
+        size_t last = close - 1;
+        if (t[last].kind == Token::kIdent && names.count(t[last].text)) {
+          if (!Allowed(f, t[last].line, "unordered-iter")) {
+            Flag(f, t[last].line, "unordered-iter",
+                 "range-for over unordered container '" + t[last].text +
+                     "' in a replication-visible file — hash order must not "
+                     "reach the replication stream (sort first or use "
+                     "std::map)");
+          }
+        }
+      }
+    }
+    // NAME.begin() / NAME.cbegin() / NAME.rbegin()
+    if (t[i].kind == Token::kIdent && names.count(t[i].text) &&
+        i + 3 < t.size() && t[i + 1].text == "." &&
+        (t[i + 2].text == "begin" || t[i + 2].text == "cbegin" ||
+         t[i + 2].text == "rbegin") &&
+        t[i + 3].text == "(") {
+      if (Allowed(f, t[i].line, "unordered-iter")) continue;
+      Flag(f, t[i].line, "unordered-iter",
+           "iterator over unordered container '" + t[i].text +
+               "' in a replication-visible file — hash order must not reach "
+               "the replication stream");
+    }
+  }
+}
+
+void Analyzer::CheckSendSize(SourceFile& f) {
+  if (!StartsWith(f.rel_path, "src/")) return;
+  const auto& t = f.tokens;
+  for (size_t i = 1; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Token::kIdent || t[i].text != "Send") continue;
+    const std::string& before = t[i - 1].text;
+    if (before != "." && before != ">") continue;  // obj.Send / ptr->Send
+    if (t[i + 1].text != "(") continue;
+    // Find the final top-level argument.
+    int depth = 0;
+    size_t last_arg_start = i + 2;
+    size_t close = 0;
+    for (size_t j = i + 1; j < t.size(); ++j) {
+      const std::string& x = t[j].text;
+      if (x == "(" || x == "[" || x == "{") ++depth;
+      else if (x == ")" || x == "]" || x == "}") {
+        if (--depth == 0) { close = j; break; }
+      } else if (x == "," && depth == 1) {
+        last_arg_start = j + 1;
+      } else if (x == ";" && depth == 0) {
+        break;
+      }
+    }
+    if (close == 0 || close <= last_arg_start) continue;
+    if (close - last_arg_start == 1 &&
+        t[last_arg_start].kind == Token::kNumber) {
+      if (Allowed(f, t[last_arg_start].line, "send-size")) continue;
+      Flag(f, t[last_arg_start].line, "send-size",
+           "Send size_bytes is the bare literal '" + t[last_arg_start].text +
+               "' — pass a named wire-size constant or compute it from the "
+               "payload so modeled bandwidth tracks the message");
+    }
+  }
+}
+
+void Analyzer::CheckMutex(SourceFile& f) {
+  if (!StartsWith(f.rel_path, "src/")) return;
+  if (f.rel_path == "src/common/locks.h" ||
+      f.rel_path == "src/common/locks.cc") {
+    return;
+  }
+  static const std::set<std::string> kMutexTypes = {
+      "mutex", "recursive_mutex", "shared_mutex", "timed_mutex",
+      "recursive_timed_mutex"};
+  const auto& t = f.tokens;
+  for (size_t i = 2; i < t.size(); ++i) {
+    if (t[i].kind != Token::kIdent || !kMutexTypes.count(t[i].text)) continue;
+    if (!(t[i - 1].text == ":" && t[i - 2].text == ":")) continue;
+    if (i >= 3 && t[i - 3].text != "std") continue;
+    // std::lock_guard<std::mutex> as a *type argument* is still a raw-mutex
+    // mention; after migration every guard names OrderedMutex, so any
+    // std::mutex token in src/ outside locks.h is a violation.
+    if (Allowed(f, t[i].line, "raw-mutex")) continue;
+    Flag(f, t[i].line, "raw-mutex",
+         "raw std::" + t[i].text +
+             " — declare a rank in the lock-order table and use "
+             "common::OrderedMutex (src/common/locks.h)");
+  }
+  // Count acquisition sites for the report.
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind == Token::kIdent &&
+        (t[i].text == "lock_guard" || t[i].text == "scoped_lock" ||
+         t[i].text == "unique_lock")) {
+      ++lock_sites_;
+    }
+  }
+}
+
+void Analyzer::CheckLockRanks(SourceFile& f,
+                              const std::set<std::string>& declared) {
+  const auto& t = f.tokens;
+  for (size_t i = 0; i + 3 < t.size(); ++i) {
+    if (t[i].kind == Token::kIdent && t[i].text == "LockRank" &&
+        t[i + 1].text == ":" && t[i + 2].text == ":" &&
+        t[i + 3].kind == Token::kIdent) {
+      const std::string& rank = t[i + 3].text;
+      if (!declared.count(rank)) {
+        if (Allowed(f, t[i].line, "lock-rank")) continue;
+        Flag(f, t[i].line, "lock-rank",
+             "LockRank::" + rank +
+                 " is not declared in the lock-order table in "
+                 "src/common/locks.h");
+      }
+    }
+  }
+}
+
+void Analyzer::CheckCodecRegistry() {
+  auto msgs = files_.find("src/middleware/messages.h");
+  auto reg = files_.find("src/middleware/wire_registry.h");
+  if (msgs == files_.end()) return;  // Fixture trees may not have one.
+  // Registered names: X(Name, tag) entries.
+  std::set<std::string> registered;
+  if (reg != files_.end()) {
+    const auto& t = reg->second.tokens;
+    for (size_t i = 0; i + 2 < t.size(); ++i) {
+      if (t[i].kind == Token::kIdent && t[i].text == "X" &&
+          t[i + 1].text == "(" && t[i + 2].kind == Token::kIdent) {
+        registered.insert(t[i + 2].text);
+      }
+    }
+  }
+  const auto& t = msgs->second.tokens;
+  for (size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].kind == Token::kIdent && t[i].text == "struct" &&
+        t[i + 1].kind == Token::kIdent && t[i + 2].text == "{") {
+      const std::string& name = t[i + 1].text;
+      if (!registered.count(name)) {
+        if (Allowed(msgs->second, t[i].line, "codec-registry")) continue;
+        Flag(msgs->second, t[i].line, "codec-registry",
+             "struct " + name +
+                 " is not registered in REPLIDB_WIRE_MESSAGES "
+                 "(src/middleware/wire_registry.h)");
+      }
+    }
+  }
+}
+
+void Analyzer::Run() {
+  for (auto& [rel, f] : files_) {
+    own_unordered_[rel] = CollectUnorderedDecls(f);
+  }
+  // Declared lock ranks come out of locks.h's enum.
+  std::set<std::string> ranks;
+  auto locks = files_.find("src/common/locks.h");
+  if (locks != files_.end()) {
+    const auto& t = locks->second.tokens;
+    bool in_enum = false;
+    int depth = 0;
+    for (size_t i = 0; i + 2 < t.size(); ++i) {
+      if (t[i].text == "enum" && t[i + 1].text == "class" &&
+          t[i + 2].text == "LockRank") {
+        in_enum = true;
+      }
+      if (in_enum) {
+        if (t[i].text == "{") ++depth;
+        if (t[i].text == "}") {
+          if (--depth == 0) in_enum = false;
+        }
+        if (depth == 1 && t[i].kind == Token::kIdent &&
+            StartsWith(t[i].text, "k") && i + 1 < t.size() &&
+            (t[i + 1].text == "=" || t[i + 1].text == ",")) {
+          ranks.insert(t[i].text);
+        }
+      }
+    }
+  }
+  for (auto& [rel, f] : files_) {
+    CheckRng(f);
+    CheckClock(f);
+    CheckAddrIdentity(f);
+    CheckUnorderedIter(f);
+    CheckSendSize(f);
+    CheckMutex(f);
+    CheckLockRanks(f, ranks);
+  }
+  CheckCodecRegistry();
+}
+
+int Analyzer::Report(bool verbose) const {
+  std::vector<Finding> sorted = findings_;
+  std::sort(sorted.begin(), sorted.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  for (const Finding& v : sorted) {
+    std::printf("%s:%d: [%s] %s\n", v.file.c_str(), v.line, v.rule.c_str(),
+                v.message.c_str());
+  }
+  // Allow inventory: every waiver is a documented decision; unused ones
+  // are stale and called out so they get cleaned up.
+  int allows = 0, unused = 0;
+  for (const auto& [rel, f] : files_) {
+    for (const AllowDirective& d : f.allows) {
+      ++allows;
+      if (!d.used) ++unused;
+      if (verbose || !d.used) {
+        std::string rules;
+        for (const std::string& r : d.rules) {
+          if (!rules.empty()) rules += ",";
+          rules += r;
+        }
+        std::printf("%s:%d: allow(%s)%s %s\n", rel.c_str(), d.line,
+                    rules.c_str(), d.used ? "" : " [UNUSED]",
+                    d.reason.c_str());
+      }
+    }
+  }
+  std::printf(
+      "replicheck: %zu violation%s, %d suppressed by %d allow directiv%s "
+      "(%d unused), %zu files, %d lock sites\n",
+      sorted.size(), sorted.size() == 1 ? "" : "s", suppressed_, allows,
+      allows == 1 ? "e" : "es", unused, files_.size(), lock_sites_);
+  return sorted.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string compile_commands;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--compile-commands" && i + 1 < argc) {
+      compile_commands = argv[++i];
+    } else if (arg == "--verbose" || arg == "-v") {
+      verbose = true;
+    } else if (arg == "--list-rules") {
+      for (const char* r : kAllRules) std::printf("%s\n", r);
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: replicheck --root <repo> [--compile-commands <json>] "
+          "[--verbose]\n"
+          "Determinism & concurrency lint for replidb (see tool header "
+          "comment and DESIGN.md for the rule catalogue).\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "replicheck: unknown argument '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    std::fprintf(stderr, "replicheck: --root %s is not a directory\n",
+                 root.c_str());
+    return 2;
+  }
+  Analyzer a{fs::path(root)};
+  if (!a.LoadFiles(compile_commands)) return 2;
+  a.Run();
+  return a.Report(verbose);
+}
