@@ -28,7 +28,8 @@ struct AvailabilityRow {
 };
 
 AvailabilityRow RunConfig(int replicas, bool crash_controller,
-                          sim::Duration horizon) {
+                          sim::Duration horizon,
+                          BenchReport* report = nullptr) {
   workload::MicroWorkload::Options wo;
   wo.rows = 200;
   wo.write_fraction = 0.3;
@@ -98,6 +99,12 @@ AvailabilityRow RunConfig(int replicas, bool crash_controller,
   row.outages = tracker.outages();
   row.mttr_s = tracker.MttrMicros() / sim::kSecond;
   row.downtime_s = sim::ToSeconds(tracker.Downtime(c->sim.Now()));
+  if (report != nullptr) {
+    report->Set("availability_pct", 100 * row.availability);
+    report->Set("mttr_s", row.mttr_s);
+    report->Set("downtime_s", row.downtime_s);
+    report->CaptureCluster(*c, /*committed_txns=*/0);
+  }
   return row;
 }
 
@@ -186,7 +193,8 @@ AvailabilityRow RunReplicatedController(bool mirror_sync,
 void Run() {
   metrics::Banner(
       "C10 / §2.2: availability under field failure rates (accelerated)");
-  sim::Duration horizon = 2 * sim::kHour;
+  BenchReport report("c10_availability");
+  sim::Duration horizon = (BenchShortMode() ? 20 : 120) * sim::kMinute;
   TablePrinter table({"configuration", "availability", "nines", "outages",
                       "mttr_s", "downtime_s"});
   struct Cfg {
@@ -201,7 +209,10 @@ void Run() {
       {"3 replicas + controller SPOF outage", 3, true},
   };
   for (const Cfg& cfg : cfgs) {
-    AvailabilityRow r = RunConfig(cfg.replicas, cfg.controller_crash, horizon);
+    // The plain 3-replica cluster is the headline configuration.
+    AvailabilityRow r = RunConfig(
+        cfg.replicas, cfg.controller_crash, horizon,
+        cfg.replicas == 3 && !cfg.controller_crash ? &report : nullptr);
     table.AddRow({cfg.label, TablePrinter::Num(100 * r.availability, 4) + "%",
                   TablePrinter::Num(r.nines, 2),
                   TablePrinter::Int(r.outages),
@@ -210,12 +221,11 @@ void Run() {
   }
   // §3.2 answered: replicate the controller and re-run the SPOF scenario.
   double async_ms = 0, sync_ms = 0;
+  sim::Duration ha_horizon = (BenchShortMode() ? 5 : 20) * sim::kMinute;
   AvailabilityRow ha_async =
-      RunReplicatedController(/*mirror_sync=*/false, 20 * sim::kMinute,
-                              &async_ms);
+      RunReplicatedController(/*mirror_sync=*/false, ha_horizon, &async_ms);
   AvailabilityRow ha_sync =
-      RunReplicatedController(/*mirror_sync=*/true, 20 * sim::kMinute,
-                              &sync_ms);
+      RunReplicatedController(/*mirror_sync=*/true, ha_horizon, &sync_ms);
   TablePrinter ha({"controller deployment", "availability", "outages",
                    "downtime_s", "write_mean_ms"});
   ha.AddRow({"active + warm standby, async mirror",
@@ -238,6 +248,7 @@ void Run() {
       "(§4.4, §5.1). Replication cuts downtime to detection+failover\n"
       "windows — until the unreplicated middleware itself fails (§3.2),\n"
       "which single-handedly wipes out the availability budget.\n");
+  report.Write();
 }
 
 }  // namespace
@@ -245,5 +256,6 @@ void Run() {
 
 int main() {
   replidb::bench::Run();
+  replidb::bench::DumpFlightIfEnabled();
   return 0;
 }

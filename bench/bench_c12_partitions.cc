@@ -24,7 +24,7 @@ using middleware::ReplicationMode;
 using middleware::TxnRequest;
 using middleware::TxnResult;
 
-void QuorumBehaviour() {
+void QuorumBehaviour(BenchReport* report) {
   TablePrinter table({"enforce_majority", "side", "writes_ok", "writes_refused",
                       "diverged_after_heal"});
   for (bool majority : {true, false}) {
@@ -67,6 +67,14 @@ void QuorumBehaviour() {
     }
     c->network->HealPartition();
     c->sim.RunFor(10 * sim::kSecond);
+    if (majority) {
+      // Quorum-enforcing configuration is the headline: every minority
+      // write must be refused and the cluster must re-converge.
+      report->Set("quorum_writes_ok", ok);
+      report->Set("quorum_writes_refused", refused);
+      report->Set("diverged_after_heal", c->Converged() ? 0.0 : 1.0);
+      report->CaptureCluster(*c, /*committed_txns=*/0);
+    }
     table.AddRow({majority ? "yes (favor C over A)" : "no (favor A over C)",
                   "controller+master minority", TablePrinter::Int(ok),
                   TablePrinter::Int(refused),
@@ -147,8 +155,10 @@ void SplitBrain() {
 
 void Run() {
   metrics::Banner("C12 / §4.3.4.3: partitions, quorums, split brain");
-  QuorumBehaviour();
+  BenchReport report("c12_partitions");
+  QuorumBehaviour(&report);
   SplitBrain();
+  report.Write();
 }
 
 }  // namespace
@@ -156,5 +166,6 @@ void Run() {
 
 int main() {
   replidb::bench::Run();
+  replidb::bench::DumpFlightIfEnabled();
   return 0;
 }

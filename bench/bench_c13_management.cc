@@ -73,7 +73,7 @@ void OnlineBackup() {
   }
 }
 
-void AddReplicaOnline() {
+void AddReplicaOnline(BenchReport* report) {
   workload::TicketBrokerWorkload::Options wo;
   wo.items = 2000;
   workload::TicketBrokerWorkload w(wo);
@@ -98,6 +98,13 @@ void AddReplicaOnline() {
     });
   });
   gen.Run(20 * sim::kSecond);
+
+  // Online replica addition is this scenario's headline operation.
+  report->FromStats(gen.stats());
+  report->CaptureCluster(*c, gen.stats().committed);
+  if (online_at > 0) {
+    report->Set("time_to_online_s", sim::ToSeconds(online_at - added_at));
+  }
 
   TablePrinter table({"metric", "value"});
   table.AddRow({"cluster tps during the operation",
@@ -245,8 +252,9 @@ void StatusConsole() {
 
 void Run() {
   metrics::Banner("C13 / §4.4: management operations");
+  BenchReport report("c13_management");
   OnlineBackup();
-  AddReplicaOnline();
+  AddReplicaOnline(&report);
   MetadataTrap();
   RollingUpgradeRun();
   ConnectionPoolFailback();
@@ -256,6 +264,7 @@ void Run() {
       "clone + recovery-log replay with no service interruption (the\n"
       "Sequoia design, §4.4.2); and a typical data-only dump produces a\n"
       "clone that no application user can log into (§4.1.5).\n");
+  report.Write();
 }
 
 }  // namespace
@@ -264,5 +273,6 @@ void Run() {
 int main() {
   replidb::bench::Run();
   replidb::bench::DumpMetricsIfEnabled();
+  replidb::bench::DumpFlightIfEnabled();
   return 0;
 }

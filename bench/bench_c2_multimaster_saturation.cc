@@ -17,6 +17,8 @@ namespace {
 
 void Run() {
   metrics::Banner("C2 / §2.1: multi-master saturation (statement mode)");
+  BenchReport report("c2_multimaster_saturation");
+  sim::Duration duration = (BenchShortMode() ? 3 : 10) * sim::kSecond;
   TablePrinter table({"write_pct", "1 replica", "2", "4", "8"});
   for (double wf : {0.05, 0.25, 0.5, 1.0}) {
     std::vector<std::string> row = {TablePrinter::Num(100 * wf, 0) + "%"};
@@ -29,8 +31,12 @@ void Run() {
       opts.replicas = replicas;
       opts.controller.mode = middleware::ReplicationMode::kMultiMasterStatement;
       auto c = MakeCluster(std::move(opts), &w);
-      RunStats stats = RunClosedLoop(c.get(), &w, /*clients=*/128,
-                                     10 * sim::kSecond);
+      RunStats stats = RunClosedLoop(c.get(), &w, /*clients=*/128, duration);
+      if (wf == 0.25 && replicas == 4) {
+        // Headline configuration for the committed trajectory.
+        report.FromStats(stats);
+        report.CaptureCluster(*c, stats.committed);
+      }
       row.push_back(TablePrinter::Num(stats.ThroughputTps(), 0));
     }
     table.AddRow(std::move(row));
@@ -41,6 +47,7 @@ void Run() {
       "writes the curve is flat or worse — every replica repeats every\n"
       "update, so \"the volume of update transactions remains the limiting\n"
       "performance factor\" (§2.1).\n");
+  report.Write();
 }
 
 }  // namespace
@@ -48,5 +55,6 @@ void Run() {
 
 int main() {
   replidb::bench::Run();
+  replidb::bench::DumpFlightIfEnabled();
   return 0;
 }

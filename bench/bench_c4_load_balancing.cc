@@ -18,7 +18,7 @@ namespace {
 
 using middleware::LoadBalancePolicy;
 
-RunStats RunPolicy(LoadBalancePolicy policy) {
+RunStats RunPolicy(LoadBalancePolicy policy, BenchReport* report = nullptr) {
   workload::MultiTableWorkload::Options wo;
   wo.tables = 12;
   wo.rows_per_table = 200;
@@ -32,17 +32,27 @@ RunStats RunPolicy(LoadBalancePolicy policy) {
   opts.replica.hot_table_capacity = 4;
   opts.replica.cache_miss_penalty = 4.0;
   auto c = MakeCluster(std::move(opts), &w);
-  return RunClosedLoop(c.get(), &w, /*clients=*/48, 12 * sim::kSecond);
+  RunStats stats = RunClosedLoop(c.get(), &w, /*clients=*/48,
+                                 (BenchShortMode() ? 4 : 12) * sim::kSecond);
+  if (report != nullptr) {
+    report->FromStats(stats);
+    report->CaptureCluster(*c, stats.committed);
+  }
+  return stats;
 }
 
 void Run() {
   metrics::Banner("C4 / §3.2: load balancing (12 working sets, 4 fit per node)");
+  BenchReport report("c4_load_balancing");
   TablePrinter table({"policy", "tps", "mean_ms", "p95_ms", "vs_round_robin"});
   double base = 0;
   for (LoadBalancePolicy policy :
        {LoadBalancePolicy::kRoundRobin, LoadBalancePolicy::kLeastPending,
         LoadBalancePolicy::kMemoryAware}) {
-    RunStats stats = RunPolicy(policy);
+    // Memory-aware routing is this scenario's headline configuration.
+    RunStats stats = RunPolicy(
+        policy,
+        policy == LoadBalancePolicy::kMemoryAware ? &report : nullptr);
     double tps = stats.ThroughputTps();
     if (base == 0) base = tps;
     table.AddRow({LoadBalancePolicyName(policy), TablePrinter::Num(tps, 0),
@@ -130,6 +140,7 @@ void Run() {
       "\nConnection-level balancing rides whole connections: the busy app\n"
       "server's replica becomes a hotspot (§3.2). Transaction-level\n"
       "balancing spreads the skew.\n");
+  report.Write();
 }
 
 }  // namespace
@@ -137,5 +148,6 @@ void Run() {
 
 int main() {
   replidb::bench::Run();
+  replidb::bench::DumpFlightIfEnabled();
   return 0;
 }

@@ -19,7 +19,7 @@ namespace {
 
 using middleware::ReplicationMode;
 
-void BulkUpdateComparison() {
+void BulkUpdateComparison(BenchReport* report) {
   TablePrinter table({"mode", "tps", "write_mean_ms", "bytes_shipped_MB",
                       "slave_stmts_executed"});
   for (ReplicationMode mode : {ReplicationMode::kMultiMasterStatement,
@@ -60,7 +60,12 @@ void BulkUpdateComparison() {
     uint64_t slave_stmts_before =
         c->replica(1)->engine()->stats().statements_executed;
     RunStats stats = RunClosedLoop(c.get(), &w, /*clients=*/16,
-                                   10 * sim::kSecond);
+                                   (BenchShortMode() ? 3 : 10) * sim::kSecond);
+    if (mode == ReplicationMode::kMultiMasterCertification) {
+      // Writeset-mode bulk updates are the headline configuration.
+      report->FromStats(stats);
+      report->CaptureCluster(*c, stats.committed);
+    }
     double mb = static_cast<double>(c->network->bytes_delivered() -
                                     bytes_before) /
                 1e6;
@@ -136,7 +141,7 @@ void StoredProcedureComparison() {
     register_proc(c.get());
     uint64_t scanned_before = c->replica(1)->engine()->stats().rows_scanned;
     RunStats stats = RunClosedLoop(c.get(), &w, /*clients=*/8,
-                                   8 * sim::kSecond);
+                                   (BenchShortMode() ? 3 : 8) * sim::kSecond);
     uint64_t slave_scanned =
         c->replica(1)->engine()->stats().rows_scanned - scanned_before;
     table.AddRow({mode == ReplicationMode::kMultiMasterStatement
@@ -172,7 +177,7 @@ void ExtractionCostAblation() {
     // Fixed offered load below every ceiling: the extraction cost shows
     // up as pure latency.
     RunStats stats = RunOpenLoop(c.get(), &w, /*rate_tps=*/800,
-                                 8 * sim::kSecond);
+                                 (BenchShortMode() ? 3 : 8) * sim::kSecond);
     table.AddRow({via_triggers ? "trigger-based (C-JDBC/Middle-R style)"
                                : "engine-native capture",
                   TablePrinter::Num(stats.ThroughputTps(), 0),
@@ -235,7 +240,8 @@ void OnlineDivergenceAudit() {
     opts.controller.audit_interval = 500 * sim::kMillisecond;
     opts.driver.max_retries = 5;
     auto c = MakeCluster(std::move(opts), &w);
-    RunClosedLoop(c.get(), &w, /*clients=*/8, 10 * sim::kSecond);
+    RunClosedLoop(c.get(), &w, /*clients=*/8,
+                  (BenchShortMode() ? 3 : 10) * sim::kSecond);
     // Idle drain: replicas catch up to head, so the closing audit epochs
     // compare all three at the same stream position.
     c->sim.RunFor(3 * sim::kSecond);
@@ -280,7 +286,8 @@ void OnlineDivergenceAudit() {
 
 void Run() {
   metrics::Banner("C6 / §4.3.2: statement vs writeset replication");
-  BulkUpdateComparison();
+  BenchReport report("c6_stmt_vs_ws");
+  BulkUpdateComparison(&report);
   StoredProcedureComparison();
   ExtractionCostAblation();
   OnlineDivergenceAudit();
@@ -289,6 +296,7 @@ void Run() {
       "diverges on RAND()/unordered LIMIT but keeps sequences in lockstep;\n"
       "writeset mode is immune to non-determinism but misses sequences and\n"
       "needs primary keys (§4.2.3, §4.3.2).\n");
+  report.Write();
 }
 
 }  // namespace
@@ -297,5 +305,6 @@ void Run() {
 int main() {
   replidb::bench::Run();
   replidb::bench::DumpMetricsIfEnabled();
+  replidb::bench::DumpFlightIfEnabled();
   return 0;
 }

@@ -137,7 +137,7 @@ void FalsePositives() {
   table.Print("false positives: aggressive timeouts vs loaded nodes");
 }
 
-void MttrImpact() {
+void MttrImpact(BenchReport* report) {
   TablePrinter table({"heartbeat", "failover_outage", "suspicions",
                       "failovers"});
   auto& registry = obs::MetricsRegistry::Global();
@@ -158,7 +158,7 @@ void MttrImpact() {
     sim::TimePoint last_commit = 0;
     sim::Duration max_gap = 0;
     sim::TimePoint crash_at = c->sim.Now() + 5 * kSecond;
-    sim::TimePoint stop = crash_at + 30 * kSecond;
+    sim::TimePoint stop = crash_at + (BenchShortMode() ? 10 : 30) * kSecond;
     std::function<void()> arrivals = [&] {
       if (c->sim.Now() >= stop) return;
       middleware::TxnRequest req = w.Next(&rng);
@@ -188,6 +188,12 @@ void MttrImpact() {
             registry.FindCounter("middleware.controller.failovers")) {
       failovers = ctr->value();
     }
+    if (period == 500 * kMillisecond) {
+      // The middle-of-the-road heartbeat is the headline configuration.
+      report->Set("failover_outage_ms", sim::ToMillis(max_gap));
+      report->Set("suspicions", static_cast<double>(suspicions));
+      report->CaptureCluster(*c, /*committed_txns=*/0);
+    }
     table.AddRow({Dur(period) + " x3", Dur(max_gap),
                   TablePrinter::Int(static_cast<int64_t>(suspicions)),
                   TablePrinter::Int(static_cast<int64_t>(failovers))});
@@ -199,9 +205,11 @@ void MttrImpact() {
 
 void Run() {
   metrics::Banner("C7 / §4.3.4.2: failure detection latency and its costs");
+  BenchReport report("c7_failure_detection");
   DetectionLatency();
   FalsePositives();
-  MttrImpact();
+  MttrImpact(&report);
+  report.Write();
   std::printf(
       "\nTCP keep-alive defaults take hours; tuning system-wide knobs is\n"
       "\"usually undesirable\". Application heartbeats detect in O(period),\n"
@@ -216,5 +224,6 @@ int main() {
   replidb::bench::InitTracingFromEnv();
   replidb::bench::Run();
   replidb::bench::WriteTraceIfEnabled();
+  replidb::bench::DumpFlightIfEnabled();
   return 0;
 }

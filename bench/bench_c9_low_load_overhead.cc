@@ -93,6 +93,7 @@ double SequentialDirect(Cluster* c, int n,
 
 void Run() {
   metrics::Banner("C9 / §4.4.5: replication overhead at low load");
+  BenchReport report("c9_low_load_overhead");
 
   struct QueryClass {
     const char* label;
@@ -131,6 +132,15 @@ void Run() {
     mw3.controller.mode = ReplicationMode::kMultiMasterCertification;
     auto c3 = MakeCluster(std::move(mw3), &raw);
     double three = SequentialViaMiddleware(c3.get(), qc.n, qc.gen);
+
+    if (std::strcmp(qc.label, "sub-ms point write") == 0) {
+      // The worst-hit query class is the headline: fixed middleware cost
+      // vs a sub-millisecond statement.
+      report.Set("point_write_direct_ms", direct);
+      report.Set("point_write_mw1_ms", one);
+      report.Set("point_write_cert3_ms", three);
+      report.CaptureCluster(*c3, /*committed_txns=*/0);
+    }
 
     table.AddRow({qc.label, TablePrinter::Num(direct, 3),
                   TablePrinter::Num(one, 3), TablePrinter::Num(three, 3),
@@ -195,10 +205,11 @@ void Run() {
     batch.AddRow({"middleware, 1 replica",
                   TablePrinter::Num(
                       time_script(false, 1, ReplicationMode::kMasterSlaveAsync), 2)});
+    double cert_script_s =
+        time_script(false, 3, ReplicationMode::kMultiMasterCertification);
+    report.Set("batch_script_cert3_s", cert_script_s);
     batch.AddRow({"middleware, 3 replicas (cert)",
-                  TablePrinter::Num(
-                      time_script(false, 3,
-                                  ReplicationMode::kMultiMasterCertification), 2)});
+                  TablePrinter::Num(cert_script_s, 2)});
     batch.AddRow({"middleware, 3 replicas (statement)",
                   TablePrinter::Num(
                       time_script(false, 3,
@@ -210,6 +221,7 @@ void Run() {
       "sub-millisecond queries (largest %% overhead); the heavyweight scan\n"
       "barely notices. The sequential script multiplies the per-statement\n"
       "overhead by its length — \"much slower on a replicated database\".\n");
+  report.Write();
 }
 
 }  // namespace
@@ -217,5 +229,6 @@ void Run() {
 
 int main() {
   replidb::bench::Run();
+  replidb::bench::DumpFlightIfEnabled();
   return 0;
 }

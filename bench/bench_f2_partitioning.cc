@@ -67,6 +67,7 @@ std::unique_ptr<PartitionedDeployment> Build(int partitions,
 void Run() {
   metrics::Banner(
       "F2 / Figure 2: partitioning for write throughput (50% writes)");
+  BenchReport report("f2_partitioning");
   TablePrinter table({"partitions", "total_replicas", "tps", "write_tps",
                       "mean_ms", "speedup"});
   double base_tps = 0;
@@ -75,10 +76,16 @@ void Run() {
     auto d = Build(partitions, /*replicas_per_partition=*/2, &w);
     workload::ClosedLoopGenerator gen(&d->sim, d->driver.get(), &w,
                                       /*clients=*/96, 0, /*seed=*/3);
-    gen.Run(12 * sim::kSecond);
+    gen.Run((BenchShortMode() ? 4 : 12) * sim::kSecond);
     const RunStats& stats = gen.stats();
     double tps = stats.ThroughputTps();
     if (base_tps == 0) base_tps = tps;
+    if (partitions == 4) {
+      // Widest partitioned deployment is the headline configuration.
+      report.FromStats(stats);
+      report.Set("speedup_vs_1", tps / base_tps);
+      report.Set("sim_events", static_cast<double>(d->sim.events_executed()));
+    }
     double write_tps = static_cast<double>(stats.write_latency_ms.count()) /
                        sim::ToSeconds(stats.elapsed);
     table.AddRow({TablePrinter::Int(partitions),
@@ -96,12 +103,15 @@ void Run() {
   opts.replicas = 8;
   opts.controller.mode = ReplicationMode::kMultiMasterStatement;
   auto c = MakeCluster(std::move(opts), &w);
-  RunStats stats = RunClosedLoop(c.get(), &w, 96, 12 * sim::kSecond);
+  RunStats stats = RunClosedLoop(c.get(), &w, 96,
+                                 (BenchShortMode() ? 4 : 12) * sim::kSecond);
+  report.Set("full_replication_tps", stats.ThroughputTps());
   std::printf(
       "\nContrast: 8 fully-replicated statement-mode replicas reach %.0f tps\n"
       "on the same workload — partitioning, not replication, buys write\n"
       "scalability (Figure 2's point).\n",
       stats.ThroughputTps());
+  report.Write();
 }
 
 }  // namespace
@@ -109,5 +119,6 @@ void Run() {
 
 int main() {
   replidb::bench::Run();
+  replidb::bench::DumpFlightIfEnabled();
   return 0;
 }

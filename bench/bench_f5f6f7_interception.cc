@@ -22,7 +22,7 @@ double MeasureDirectBaseline() {
   DirectClient direct(&c->sim, c->network.get(), 300, /*replica=*/1);
   Histogram lat;
   Rng rng(3);
-  int remaining = 2000;
+  int remaining = BenchShortMode() ? 600 : 2000;
   std::function<void()> next = [&] {
     if (remaining-- <= 0) return;
     middleware::TxnRequest req = w.Next(&rng);
@@ -46,14 +46,16 @@ double MeasureWithMiddleware(double per_statement_us) {
   opts.controller.per_statement_us = per_statement_us;
   auto c = MakeCluster(std::move(opts), &w);
   RunStats stats = RunClosedLoop(c.get(), &w, /*clients=*/1,
-                                 10 * sim::kSecond);
+                                 (BenchShortMode() ? 4 : 10) * sim::kSecond);
   return stats.latency_ms.Mean();
 }
 
 void Run() {
   metrics::Banner("F5-F7 / Figures 5-7: query interception design space");
+  BenchReport report("f5f6f7_interception");
 
   double direct = MeasureDirectBaseline();
+  report.Set("direct_ms", direct);
   struct Design {
     const char* name;
     double per_statement_us;
@@ -79,8 +81,12 @@ void Run() {
                       "main practical risk"});
   table.AddRow({"direct single DB (baseline)", TablePrinter::Num(direct, 3),
                 "-", "none", "n/a", "n/a", "no replication at all"});
+  const char* design_metrics[] = {"engine_integrated_ms", "wire_proxy_ms",
+                                  "driver_level_ms"};
+  int design_idx = 0;
   for (const Design& d : designs) {
     double mean = MeasureWithMiddleware(d.per_statement_us);
+    report.Set(design_metrics[design_idx++], mean);
     table.AddRow({d.name, TablePrinter::Num(mean, 3),
                   "+" + TablePrinter::Num(100.0 * (mean - direct) / direct, 0) +
                       "%",
@@ -92,6 +98,7 @@ void Run() {
       "the cheap one (engine integration) is the least deployable, the\n"
       "portable one (driver-level) pushes upgrades onto every client\n"
       "machine (§4.3.1).\n");
+  report.Write();
 }
 
 }  // namespace
@@ -99,5 +106,6 @@ void Run() {
 
 int main() {
   replidb::bench::Run();
+  replidb::bench::DumpFlightIfEnabled();
   return 0;
 }

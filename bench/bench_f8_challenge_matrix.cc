@@ -174,13 +174,31 @@ void Run() {
   const ReplicationMode modes[] = {ReplicationMode::kMasterSlaveAsync,
                                    ReplicationMode::kMultiMasterStatement,
                                    ReplicationMode::kMultiMasterCertification};
+  BenchReport report("f8_challenge_matrix");
+  int converged = 0, diverged = 0, refused = 0, seq_drift = 0, error = 0;
   TablePrinter table({"hazard", "master-slave(ws)", "mm-statement", "mm-cert"});
   for (const Hazard& h : hazards) {
     std::vector<std::string> row = {h.name};
-    for (ReplicationMode m : modes) row.push_back(RunCell(h, m));
+    for (ReplicationMode m : modes) {
+      std::string cell = RunCell(h, m);
+      if (cell == "CONVERGED") ++converged;
+      else if (cell == "DIVERGED") ++diverged;
+      else if (cell == "REFUSED") ++refused;
+      else if (cell == "SEQ-DRIFT") ++seq_drift;
+      else ++error;
+      row.push_back(std::move(cell));
+    }
     table.AddRow(std::move(row));
   }
   table.Print("what each strategy survives");
+  // The matrix outcome counts are the regression signal: any cell changing
+  // class (e.g. a hazard starting to diverge) shifts these.
+  report.Set("converged_cells", converged);
+  report.Set("diverged_cells", diverged);
+  report.Set("refused_cells", refused);
+  report.Set("seq_drift_cells", seq_drift);
+  report.Set("error_cells", error);
+  report.Write();
   std::printf(
       "\nReading: statement replication is the one that diverges on\n"
       "non-deterministic SQL but the only one that tolerates PK-less\n"
@@ -194,5 +212,6 @@ void Run() {
 
 int main() {
   replidb::bench::Run();
+  replidb::bench::DumpFlightIfEnabled();
   return 0;
 }

@@ -1,10 +1,13 @@
 #ifndef REPLIDB_BENCH_BENCH_UTIL_H_
 #define REPLIDB_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <ctime>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <utility>
@@ -13,6 +16,8 @@
 #include "metrics/report.h"
 #include "middleware/cluster.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "workload/load_generator.h"
 #include "workload/workloads.h"
@@ -211,6 +216,178 @@ inline void DumpMetricsIfEnabled() {
   std::fclose(f);
   std::printf("\nmetrics: %zu metrics -> %s (%s)\n", registry.size(), path,
               json ? "json" : "prometheus");
+}
+
+/// \brief Dumps the flight recorder's event tail to stderr at bench exit
+/// when REPLIDB_FLIGHT_DUMP is set (non-empty). Call last in main().
+inline void DumpFlightIfEnabled() {
+  const char* v = std::getenv("REPLIDB_FLIGHT_DUMP");
+  if (v == nullptr || *v == '\0') return;
+  obs::FlightRecorder::Global().Dump(stderr);
+}
+
+/// \brief Machine-readable bench trajectory: every scenario bench fills
+/// one BenchReport (ops/s, p50/p99 latency, bytes per txn, events/s, peak
+/// and final replica lag) and writes it as `BENCH_<scenario>.json` next to
+/// the binary (or into $REPLIDB_BENCH_JSON_DIR). tools/benchdiff compares
+/// two trajectories with per-metric tolerance bands, which is what lets CI
+/// fail on a throughput/latency/amplification regression instead of a
+/// human eyeballing bench stdout.
+///
+/// Everything except `events_per_sec` derives from the deterministic
+/// simulator, so reruns at the same seed produce bit-identical metrics;
+/// events_per_sec is wall-clock-derived and informational only (benchdiff
+/// skips it).
+class BenchReport {
+ public:
+  explicit BenchReport(std::string scenario) : scenario_(std::move(scenario)) {}
+
+  void Set(const std::string& metric, double value) {
+    metrics_[metric] = value;
+  }
+  double Get(const std::string& metric) const {
+    auto it = metrics_.find(metric);
+    return it == metrics_.end() ? 0.0 : it->second;
+  }
+
+  /// Headline throughput/latency, optionally under a prefix (multi-phase
+  /// benches record e.g. "steady.ops_per_sec" and "failover.p99_ms").
+  void FromStats(const RunStats& s, const std::string& prefix = "") {
+    Set(prefix + "ops_per_sec", s.ThroughputTps());
+    Set(prefix + "p50_ms", s.latency_ms.Percentile(50));
+    Set(prefix + "p99_ms", s.latency_ms.Percentile(99));
+    Set(prefix + "abort_pct", 100.0 * s.AbortRate());
+  }
+
+  /// Cluster-level wire/efficiency metrics: bytes per committed txn,
+  /// simulator event count, wall-clock events/s, and the sampled
+  /// replica-lag envelope from the cluster's time-series hub.
+  void CaptureCluster(const Cluster& c, uint64_t committed_txns) {
+    Set("bytes_per_txn",
+        committed_txns > 0
+            ? static_cast<double>(c.network->bytes_delivered()) /
+                  static_cast<double>(committed_txns)
+            : 0.0);
+    Set("sim_events", static_cast<double>(c.sim.events_executed()));
+    // CPU seconds since process start — the only wall-dependent metric in
+    // the report; benchdiff treats events_per_sec as informational.
+    double cpu_sec =
+        static_cast<double>(std::clock()) / static_cast<double>(CLOCKS_PER_SEC);
+    Set("events_per_sec",
+        cpu_sec > 0 ? static_cast<double>(c.sim.events_executed()) / cpu_sec
+                    : 0.0);
+    double peak = 0.0, final_lag = 0.0;
+    for (const std::string& name : c.timeseries().SeriesNames()) {
+      if (name.find(".lag_versions") == std::string::npos) continue;
+      const obs::Series* s = c.timeseries().FindSeries(name);
+      if (s == nullptr || s->size() == 0) continue;
+      peak = std::max(peak, s->MaxValue());
+      final_lag = std::max(final_lag, s->Last());
+    }
+    Set("peak_lag", peak);
+    Set("final_lag", final_lag);
+  }
+
+  /// Explicit lag envelope for benches that compute it themselves.
+  void Lag(double peak, double final_lag) {
+    Set("peak_lag", peak);
+    Set("final_lag", final_lag);
+  }
+
+  /// {"schema":1,"scenario":"...","metrics":{...}} with name-sorted keys.
+  std::string Json() const {
+    std::string out = "{\"schema\":1,\"scenario\":\"" + scenario_ +
+                      "\",\"metrics\":{";
+    bool first = true;
+    char buf[64];
+    for (const auto& [name, value] : metrics_) {
+      if (!first) out += ",";
+      first = false;
+      std::snprintf(buf, sizeof(buf), "%.6g", value);
+      out += "\"" + name + "\":" + buf;
+    }
+    out += "}}";
+    return out;
+  }
+
+  /// Writes BENCH_<scenario>.json into $REPLIDB_BENCH_JSON_DIR (or the
+  /// working directory) and prints the destination.
+  bool Write() const {
+    std::string path;
+    const char* dir = std::getenv("REPLIDB_BENCH_JSON_DIR");
+    if (dir != nullptr && *dir != '\0') {
+      path = std::string(dir);
+      if (path.back() != '/') path += '/';
+    }
+    path += "BENCH_" + scenario_ + ".json";
+    std::string body = Json();
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("bench-report: FAILED to write %s\n", path.c_str());
+      return false;
+    }
+    size_t written = std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    std::printf("bench-report: %zu metrics -> %s\n", metrics_.size(),
+                path.c_str());
+    return written == body.size();
+  }
+
+  const std::string& scenario() const { return scenario_; }
+  const std::map<std::string, double>& metrics() const { return metrics_; }
+
+ private:
+  std::string scenario_;
+  std::map<std::string, double> metrics_;
+};
+
+/// One-call trajectory hook for the common single-phase bench: headline
+/// stats + cluster capture + write. Benches with several phases build a
+/// BenchReport directly and call FromStats per phase instead.
+inline void WriteBenchReport(const std::string& scenario, const Cluster& c,
+                             const RunStats& stats) {
+  BenchReport report(scenario);
+  report.FromStats(stats);
+  report.CaptureCluster(c, stats.committed);
+  report.Write();
+}
+
+/// \brief Prints a sampled series from a cluster's TimeSeriesHub as a
+/// text curve: one row per virtual-time bucket with an asterisk bar, so a
+/// lag timeline (growth, knee, recovery) is readable straight from bench
+/// stdout. `buckets` rows; each bucket shows the max sample inside it.
+inline void PrintSeriesCurve(const Cluster& c, const std::string& series,
+                             const std::string& title, size_t buckets = 20,
+                             size_t bar_width = 50) {
+  const obs::Series* s = c.timeseries().FindSeries(series);
+  if (s == nullptr || s->size() == 0) return;
+  std::vector<obs::SeriesPoint> pts = s->Points();
+  int64_t t0 = pts.front().ts_us;
+  int64_t t1 = pts.back().ts_us;
+  int64_t span = std::max<int64_t>(1, t1 - t0);
+  buckets = std::max<size_t>(1, std::min(buckets, pts.size()));
+  std::vector<double> maxima(buckets, 0.0);
+  double overall = 0.0;
+  for (const obs::SeriesPoint& p : pts) {
+    size_t b = static_cast<size_t>((p.ts_us - t0) * static_cast<int64_t>(buckets) / (span + 1));
+    b = std::min(b, buckets - 1);
+    maxima[b] = std::max(maxima[b], p.value);
+    overall = std::max(overall, p.value);
+  }
+  std::printf("\n-- %s (%s, %zu samples) --\n", title.c_str(), series.c_str(),
+              pts.size());
+  for (size_t b = 0; b < buckets; ++b) {
+    double t_sec =
+        static_cast<double>(t0 + span * static_cast<int64_t>(b) /
+                                     static_cast<int64_t>(buckets)) /
+        1e6;
+    size_t bar = overall > 0 ? static_cast<size_t>(
+                                   maxima[b] / overall *
+                                   static_cast<double>(bar_width))
+                             : 0;
+    std::printf("t=%8.2fs %10.0f |%s\n", t_sec, maxima[b],
+                std::string(bar, '*').c_str());
+  }
 }
 
 /// \brief Prints the SHOW REPLICA STATUS console for a cluster when

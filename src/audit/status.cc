@@ -13,10 +13,39 @@ std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
   for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
   }
   return out;
+}
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
 }
 
 }  // namespace
@@ -72,6 +101,12 @@ std::string RenderReplicaStatus(const StatusSnapshot& snapshot) {
   out += "audit: " + U64(snapshot.audit_epochs_compared) + "/" +
          U64(snapshot.audit_epochs_started) + " epochs compared, " +
          U64(snapshot.divergences_detected) + " divergence(s) detected\n";
+  for (const SloStatus& slo : snapshot.slos) {
+    out += "slo: " + slo.name + " p50=" + Num(slo.p50) +
+           " p99=" + Num(slo.p99) + " target_p99=" + Num(slo.target_p99) +
+           " windows=" + U64(slo.windows) +
+           " breaches=" + U64(slo.breaches) + "\n";
+  }
   return out;
 }
 
@@ -103,7 +138,110 @@ std::string RenderStatusJson(const StatusSnapshot& snapshot) {
     out += "\"diverged_tables\":\"" + JsonEscape(r.diverged_tables) + "\"";
     out += "}";
   }
+  out += "],\"slos\":[";
+  for (size_t i = 0; i < snapshot.slos.size(); ++i) {
+    const SloStatus& s = snapshot.slos[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":\"" + JsonEscape(s.name) + "\",";
+    out += "\"p50\":" + std::string(Num(s.p50)) + ",";
+    out += "\"p99\":" + std::string(Num(s.p99)) + ",";
+    out += "\"target_p99\":" + std::string(Num(s.target_p99)) + ",";
+    out += "\"windows\":" + U64(s.windows) + ",";
+    out += "\"breaches\":" + U64(s.breaches);
+    out += "}";
+  }
   out += "]}";
+  return out;
+}
+
+namespace {
+
+/// Prometheus label values: escape backslash, double quote, and newline
+/// (the exposition format's three escapes) — an unescaped newline or
+/// quote in a role/state/table string would corrupt the whole scrape.
+std::string PromLabelEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderStatusPrometheus(const StatusSnapshot& snapshot) {
+  std::string out;
+  // One # TYPE line per family, before its first sample, regardless of
+  // how many replicas (= samples of the same family) follow.
+  auto family = [&out](const char* name, const char* kind) {
+    out += "# TYPE replidb_status_";
+    out += name;
+    out += ' ';
+    out += kind;
+    out += '\n';
+  };
+  auto labels = [](const ReplicaStatus& r) {
+    return "{replica=\"" + std::to_string(r.id) + "\",role=\"" +
+           PromLabelEscape(r.role) + "\",state=\"" + PromLabelEscape(r.state) +
+           "\"}";
+  };
+
+  family("head_version", "gauge");
+  out += "replidb_status_head_version " + U64(snapshot.head_version) + "\n";
+
+  family("replica_applied_version", "gauge");
+  for (const ReplicaStatus& r : snapshot.replicas) {
+    out += "replidb_status_replica_applied_version" + labels(r) + " " +
+           U64(r.applied_version) + "\n";
+  }
+  family("replica_lag_versions", "gauge");
+  for (const ReplicaStatus& r : snapshot.replicas) {
+    out += "replidb_status_replica_lag_versions" + labels(r) + " " +
+           U64(r.lag_versions) + "\n";
+  }
+  family("replica_backlog", "gauge");
+  for (const ReplicaStatus& r : snapshot.replicas) {
+    out += "replidb_status_replica_backlog" + labels(r) + " " +
+           U64(r.backlog) + "\n";
+  }
+  family("replica_apply_errors", "counter");
+  for (const ReplicaStatus& r : snapshot.replicas) {
+    out += "replidb_status_replica_apply_errors" + labels(r) + " " +
+           U64(r.apply_errors) + "\n";
+  }
+  family("replica_diverged", "gauge");
+  for (const ReplicaStatus& r : snapshot.replicas) {
+    std::string l = "{replica=\"" + std::to_string(r.id) + "\",tables=\"" +
+                    PromLabelEscape(r.diverged_tables) + "\"}";
+    out += "replidb_status_replica_diverged" + l + " " +
+           (r.diverged ? "1" : "0") + "\n";
+  }
+
+  if (!snapshot.slos.empty()) {
+    family("slo_p99", "gauge");
+    for (const SloStatus& s : snapshot.slos) {
+      out += "replidb_status_slo_p99{slo=\"" + PromLabelEscape(s.name) +
+             "\"} " + Num(s.p99) + "\n";
+    }
+    family("slo_breaches", "counter");
+    for (const SloStatus& s : snapshot.slos) {
+      out += "replidb_status_slo_breaches{slo=\"" + PromLabelEscape(s.name) +
+             "\"} " + U64(s.breaches) + "\n";
+    }
+  }
   return out;
 }
 

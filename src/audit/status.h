@@ -23,6 +23,18 @@ struct ReplicaStatus {
   std::string diverged_tables;         ///< Comma-joined, empty if clean.
 };
 
+/// \brief One windowed SLO tracker's current state (commit latency,
+/// replica staleness; see obs/slo.h). Plain values so audit stays free of
+/// an obs dependency.
+struct SloStatus {
+  std::string name;        ///< e.g. "commit_latency_ms".
+  double p50 = 0;          ///< Last closed non-empty window.
+  double p99 = 0;
+  double target_p99 = 0;
+  uint64_t windows = 0;    ///< Windows closed so far.
+  uint64_t breaches = 0;   ///< Closed windows whose p99 exceeded target.
+};
+
 /// \brief Point-in-time cluster introspection snapshot, built by the
 /// controller on demand (programmatic API for benches/tests; rendered as
 /// text for operators).
@@ -34,6 +46,7 @@ struct StatusSnapshot {
   uint64_t audit_epochs_compared = 0;
   uint64_t divergences_detected = 0;
   std::vector<ReplicaStatus> replicas;
+  std::vector<SloStatus> slos;  ///< Empty when SLO tracking is disabled.
 };
 
 /// Renders the snapshot as a MySQL-`SHOW REPLICA STATUS`-style aligned
@@ -42,6 +55,12 @@ std::string RenderReplicaStatus(const StatusSnapshot& snapshot);
 
 /// Renders the snapshot as a machine-readable JSON document.
 std::string RenderStatusJson(const StatusSnapshot& snapshot);
+
+/// Renders the snapshot in Prometheus exposition format: per-replica
+/// metrics labelled {replica="id",role="...",state="..."}, one `# TYPE`
+/// line per metric family, and label values escaped per the exposition
+/// rules (backslash, double quote, newline).
+std::string RenderStatusPrometheus(const StatusSnapshot& snapshot);
 
 }  // namespace replidb::audit
 

@@ -26,13 +26,18 @@ double Histogram::Max() const {
 }
 
 double Histogram::Percentile(double p) const {
+  // Every input maps to a defined value: the empty histogram answers 0,
+  // out-of-range and NaN ranks clamp to the extremes, and the computed
+  // indices are clamped so no p can read past the sample array.
   if (samples_.empty()) return 0.0;
   Sort();
-  if (p <= 0.0) return samples_.front();
+  if (std::isnan(p) || p <= 0.0) return samples_.front();
   if (p >= 100.0) return samples_.back();
   double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
   size_t lo = static_cast<size_t>(std::floor(rank));
   size_t hi = static_cast<size_t>(std::ceil(rank));
+  lo = std::min(lo, samples_.size() - 1);
+  hi = std::min(hi, samples_.size() - 1);
   double frac = rank - static_cast<double>(lo);
   return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
 }

@@ -30,6 +30,10 @@ const char* LockRankName(LockRank rank) {
     case LockRank::kMetricsRegistry: return "MetricsRegistry";
     case LockRank::kMetricHistogram: return "MetricHistogram";
     case LockRank::kTracer: return "Tracer";
+    case LockRank::kTimeSeriesHub: return "TimeSeriesHub";
+    case LockRank::kTimeSeriesData: return "TimeSeriesData";
+    case LockRank::kFlightRecorder: return "FlightRecorder";
+    case LockRank::kSlo: return "Slo";
   }
   return "?";
 }

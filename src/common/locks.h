@@ -33,6 +33,17 @@ enum class LockRank : int {
   kMetricHistogram = 30,
   /// obs/trace.cc — Tracer span/event buffer. Leaf.
   kTracer = 40,
+  /// obs/timeseries.cc — TimeSeriesHub series/probe maps. Held while
+  /// probes run, so probes must not take any replidb lock.
+  kTimeSeriesHub = 50,
+  /// obs/timeseries.h — per-Series sample ring. Inner to the hub lock
+  /// (SampleProbes appends while holding it).
+  kTimeSeriesData = 60,
+  /// obs/recorder.cc — FlightRecorder event ring. Taken from control-path
+  /// call sites that hold no other replidb lock.
+  kFlightRecorder = 70,
+  /// obs/slo.cc — SloTracker window state. Leaf.
+  kSlo = 80,
 };
 
 const char* LockRankName(LockRank rank);

@@ -49,6 +49,24 @@ void ClearLogClock(const void* owner) {
   g_clock = nullptr;
 }
 
+namespace {
+std::atomic<CheckFailureHook> g_check_hook{nullptr};
+}  // namespace
+
+void SetCheckFailureHook(CheckFailureHook hook) {
+  g_check_hook.store(hook, std::memory_order_relaxed);
+}
+
+void CheckFailed(const char* file, int line, const char* cond,
+                 const char* msg) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", file, line, cond,
+               msg);
+  if (CheckFailureHook hook = g_check_hook.load(std::memory_order_relaxed)) {
+    hook();
+  }
+  std::abort();
+}
+
 void LogLine(LogLevel level, const std::string& msg) {
   if (level < GetLogLevel()) return;
   // Format the entire line up front and emit it with one fwrite: partial

@@ -45,14 +45,26 @@ struct Emitter {
   } else                                                                 \
     ::replidb::log_internal::Emitter(::replidb::LogLevel::k##level_suffix).stream
 
-/// Fatal invariant check: always on, aborts with a message.
-#define REPLIDB_CHECK(cond, msg)                                          \
-  do {                                                                    \
-    if (!(cond)) {                                                        \
-      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,  \
-                   __LINE__, #cond, msg);                                 \
-      std::abort();                                                       \
-    }                                                                     \
+/// Hook invoked after a REPLIDB_CHECK failure message is printed, before
+/// the process aborts. The flight recorder (obs/recorder.h) installs one
+/// so the last N structured events land next to the assertion message —
+/// post-mortem context for nondeterministic-looking failures. At most one
+/// hook; nullptr clears it.
+using CheckFailureHook = void (*)();
+void SetCheckFailureHook(CheckFailureHook hook);
+
+/// Out-of-line failure path for REPLIDB_CHECK: prints the message, runs
+/// the registered CheckFailureHook, then aborts.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* cond,
+                              const char* msg);
+
+/// Fatal invariant check: always on, aborts with a message (plus whatever
+/// the registered CheckFailureHook dumps — see SetCheckFailureHook).
+#define REPLIDB_CHECK(cond, msg)                                 \
+  do {                                                           \
+    if (!(cond)) {                                               \
+      ::replidb::CheckFailed(__FILE__, __LINE__, #cond, (msg));  \
+    }                                                            \
   } while (false)
 
 }  // namespace replidb

@@ -1,12 +1,17 @@
 #include "middleware/cluster.h"
 
+#include <algorithm>
 #include <set>
 
 #include "common/logging.h"
+#include "obs/recorder.h"
 
 namespace replidb::middleware {
 
 Cluster::Cluster(ClusterOptions opts) : options(std::move(opts)) {
+  // Any REPLIDB_CHECK failure from here on dumps the flight recorder's
+  // event tail next to the assertion message.
+  obs::FlightRecorder::InstallCheckHook();
   network = std::make_unique<net::Network>(&sim, options.network);
 
   std::vector<ReplicaNode*> replica_ptrs;
@@ -36,6 +41,55 @@ Cluster::Cluster(ClusterOptions opts) : options(std::move(opts)) {
         &sim, network.get(), 200 + i,
         std::vector<net::NodeId>{controller->id()}, options.driver));
   }
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::Start() {
+  controller->Start();
+  RegisterProbes();
+  if (options.sample_interval > 0) {
+    sampler_ = std::make_unique<sim::PeriodicTask>(
+        &sim, options.sample_interval,
+        [this] { hub_.SampleProbes(sim.Now()); });
+    sampler_->Start();
+  }
+}
+
+void Cluster::RegisterProbes() {
+  Controller* ctrl = controller.get();
+  for (const auto& replica_ptr : replicas) {
+    ReplicaNode* node = replica_ptr.get();
+    std::string prefix = "replica." + std::to_string(node->id());
+    hub_.RegisterProbe(prefix + ".lag_versions", [ctrl, node] {
+      GlobalVersion head = ctrl->global_version();
+      GlobalVersion applied = node->applied_version();
+      return static_cast<double>(head > applied ? head - applied : 0);
+    });
+    hub_.RegisterProbe(prefix + ".backlog", [node] {
+      return static_cast<double>(node->apply_backlog());
+    });
+    hub_.RegisterProbe(prefix + ".queue_depth", [node] {
+      return static_cast<double>(node->QueueDepth());
+    });
+    // Tightest remaining credit window any pusher holds toward this
+    // replica (master binlog stream and/or controller push paths).
+    net::NodeId id = node->id();
+    hub_.RegisterProbe(prefix + ".ship_window_bytes", [this, ctrl, id] {
+      int64_t window = ctrl->ship_pipeline().WindowBytes(id);
+      for (const auto& other : replicas) {
+        if (other->id() == id || other->crashed()) continue;
+        window = std::min(window, other->ship_pipeline().WindowBytes(id));
+      }
+      return static_cast<double>(window);
+    });
+  }
+  hub_.RegisterProbe("controller.pending_txns", [ctrl] {
+    return static_cast<double>(ctrl->PendingCount());
+  });
+  hub_.RegisterProbe("controller.head_version", [ctrl] {
+    return static_cast<double>(ctrl->global_version());
+  });
 }
 
 void Cluster::Setup(const std::vector<std::string>& statements) {

@@ -9,6 +9,7 @@
 #include "middleware/controller.h"
 #include "middleware/replica_node.h"
 #include "net/network.h"
+#include "obs/timeseries.h"
 #include "sim/simulator.h"
 
 namespace replidb::middleware {
@@ -33,18 +34,32 @@ struct ClusterOptions {
   /// Optional per-replica worker-capacity override (heterogeneous
   /// clusters, §4.1.3). Empty = uniform `replica.capacity`.
   std::vector<int> per_replica_capacity;
+  /// Virtual-time telemetry sampling period for the cluster's
+  /// TimeSeriesHub (per-replica lag/backlog/queue depth, ship windows,
+  /// in-flight transactions). 0 disables the sampler; the hub still
+  /// exists for event-driven series.
+  sim::Duration sample_interval = 250 * sim::kMillisecond;
 };
 
 class Cluster {
  public:
   explicit Cluster(ClusterOptions options);
+  ~Cluster();
 
   /// Runs the setup statements identically on every replica (initial
   /// load), then baselines replication state. Call before traffic.
   void Setup(const std::vector<std::string>& statements);
 
-  /// Finishes wiring (Controller::Start).
-  void Start() { controller->Start(); }
+  /// Finishes wiring (Controller::Start), registers the telemetry probes,
+  /// and starts the virtual-time sampler (options.sample_interval).
+  void Start();
+
+  /// Per-deployment time-series telemetry: sampled probes per replica
+  /// (`replica.<id>.lag_versions` / `.backlog` / `.queue_depth` /
+  /// `.ship_window_bytes`) plus `controller.pending_txns` and
+  /// `controller.head_version`. Timestamps are virtual microseconds.
+  obs::TimeSeriesHub& timeseries() { return hub_; }
+  const obs::TimeSeriesHub& timeseries() const { return hub_; }
 
   /// True if all *up* replicas hold identical committed data.
   bool Converged() const;
@@ -70,6 +85,14 @@ class Cluster {
   std::unique_ptr<Controller> controller;
   std::vector<std::unique_ptr<client::Driver>> drivers;
   ClusterOptions options;
+
+ private:
+  void RegisterProbes();
+
+  obs::TimeSeriesHub hub_;
+  /// Declared after the probed objects: destroyed first, so no sampler
+  /// tick can ever run against dead replicas/controller.
+  std::unique_ptr<sim::PeriodicTask> sampler_;
 };
 
 }  // namespace replidb::middleware

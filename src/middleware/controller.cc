@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "sql/parser.h"
 
@@ -114,6 +115,14 @@ Controller::Controller(sim::Simulator* sim, net::Network* network,
   dispatcher_ = std::make_unique<net::Dispatcher>(network, node, site);
   workers_free_.assign(static_cast<size_t>(options_.capacity), 0);
 
+  if (options_.slo_window > 0) {
+    commit_slo_ = std::make_unique<obs::SloTracker>(
+        "commit_latency_ms", options_.slo_window, options_.slo_commit_p99_ms);
+    staleness_slo_ = std::make_unique<obs::SloTracker>(
+        "read_staleness_versions", options_.slo_window,
+        options_.slo_staleness_p99);
+  }
+
   for (ReplicaNode* r : replicas) {
     ReplicaInfo info;
     info.node = r;
@@ -209,6 +218,20 @@ void Controller::Start() {
   }
   if (!replicas_.empty()) master_ = replicas_.begin()->first;
   if (passive_) return;  // A standby only observes until takeover.
+  {
+    // Initial view: membership + master, so every run's flight record
+    // starts from a known configuration.
+    std::string members;
+    for (const auto& [rid, info] : replicas_) {
+      (void)info;
+      if (!members.empty()) members += ",";
+      members += std::to_string(rid);
+    }
+    obs::FlightRecorder::Global().Record(
+        sim_->Now(), id(), obs::FlightEventKind::kViewChange,
+        "initial view: members=[" + members +
+            "] master=" + std::to_string(master_));
+  }
   UpdateSubscriptions();
   anti_entropy_ = std::make_unique<sim::PeriodicTask>(
       sim_, sim::kSecond, [this] {
@@ -334,6 +357,19 @@ audit::StatusSnapshot Controller::StatusReport() const {
       rs.diverged_tables += tables[i];
     }
     snap.replicas.push_back(std::move(rs));
+  }
+  for (obs::SloTracker* slo : {commit_slo_.get(), staleness_slo_.get()}) {
+    if (slo == nullptr) continue;
+    // Close any windows the quiet tail left open so the report is current.
+    slo->AdvanceTo(sim_->Now());
+    audit::SloStatus s;
+    s.name = slo->name();
+    s.p50 = slo->last_p50();
+    s.p99 = slo->last_p99();
+    s.target_p99 = slo->target_p99();
+    s.windows = slo->windows_closed();
+    s.breaches = slo->breaches();
+    snap.slos.push_back(std::move(s));
   }
   return snap;
 }
@@ -854,6 +890,9 @@ void Controller::HandleExecReply(const net::Message& m) {
             : 0;
     result.staleness = staleness;
     max_read_staleness_ = std::max(max_read_staleness_, staleness);
+    if (staleness_slo_ != nullptr) {
+      staleness_slo_->Observe(sim_->Now(), static_cast<double>(staleness));
+    }
     FinishRequest(p, std::move(result));
     return;
   }
@@ -932,6 +971,10 @@ void Controller::HandleExecReply(const net::Message& m) {
       if (!Certify(p->begin_version, keys)) {
         ++stats_.aborts_certification;
         ControllerMetrics::Get().aborts_cert->Increment();
+        obs::FlightRecorder::Global().Record(
+            sim_->Now(), id(), obs::FlightEventKind::kCertAbort,
+            "origin=" + std::to_string(p->target) +
+                " begin_version=" + std::to_string(p->begin_version));
         FinishTxnMsg abort_msg;
         abort_msg.req_id = p->req_id;
         abort_msg.commit = false;
@@ -1027,6 +1070,10 @@ void Controller::FinishRequest(Pending* p, TxnResult result) {
     if (p->is_write) {
       ++stats_.commits;
       ControllerMetrics::Get().commits->Increment();
+      if (commit_slo_ != nullptr) {
+        commit_slo_->Observe(sim_->Now(),
+                             sim::ToMillis(sim_->Now() - p->arrived));
+      }
     }
   }
   ControllerMetrics::Get().total_ms->Observe(
@@ -1124,6 +1171,10 @@ void Controller::OnReplicaSuspicion(net::NodeId replica, bool suspect) {
     if (info->state == ReplicaState::kDown) return;
     REPLIDB_LOG(Info) << "controller: replica " << replica << " suspected";
     ControllerMetrics::Get().suspicions->Increment();
+    obs::FlightRecorder::Global().Record(
+        sim_->Now(), id(), obs::FlightEventKind::kSuspicion,
+        "replica=" + std::to_string(replica) +
+            " applied=" + std::to_string(info->applied));
     if (obs::TracingEnabled()) {
       obs::Tracer::Global().Instant("controller." + std::to_string(id()),
                                     "suspect." + std::to_string(replica),
@@ -1166,6 +1217,15 @@ void Controller::PromoteNewMaster() {
   }
   ++stats_.failovers;
   ControllerMetrics::Get().failovers->Increment();
+  obs::FlightRecorder::Global().Record(
+      sim_->Now(), id(), obs::FlightEventKind::kFailover,
+      "promoted=" + std::to_string(best) +
+          " was=" + std::to_string(old_master) +
+          " applied=" + std::to_string(best_applied));
+  obs::FlightRecorder::Global().Record(
+      sim_->Now(), id(), obs::FlightEventKind::kViewChange,
+      "master change: " + std::to_string(old_master) + " -> " +
+          std::to_string(best));
   if (obs::TracingEnabled()) {
     obs::Tracer::Global().Instant("controller." + std::to_string(id()),
                                   "failover." + std::to_string(best),
@@ -1235,6 +1295,11 @@ void Controller::StartResync(net::NodeId replica) {
   info->applied = from;
   info->resync_target = global_version_;
   ControllerMetrics::Get().resyncs_started->Increment();
+  obs::FlightRecorder::Global().Record(
+      sim_->Now(), id(), obs::FlightEventKind::kResyncPhase,
+      "replay start: replica=" + std::to_string(replica) +
+          " from=" + std::to_string(from) +
+          " target=" + std::to_string(global_version_));
   ReplayBehindGauge(replica)->Set(static_cast<int64_t>(
       info->resync_target > from ? info->resync_target - from : 0));
   // The rejoiner's credit/window state is void (it restarted): reset the
@@ -1261,6 +1326,10 @@ void Controller::CheckResyncDone(net::NodeId replica) {
   info->state = ReplicaState::kOnline;
   ++stats_.resyncs_completed;
   ControllerMetrics::Get().resyncs_completed->Increment();
+  obs::FlightRecorder::Global().Record(
+      sim_->Now(), id(), obs::FlightEventKind::kResyncPhase,
+      "online: replica=" + std::to_string(replica) +
+          " applied=" + std::to_string(info->applied));
   ReplayBehindGauge(replica)->Set(0);
   if (obs::TracingEnabled()) {
     obs::Tracer::Global().Instant("controller." + std::to_string(id()),
@@ -1442,6 +1511,10 @@ void Controller::RemoveReplica(net::NodeId replica) {
 void Controller::RejoinReplica(net::NodeId replica) { StartResync(replica); }
 
 void Controller::CloneInto(net::NodeId target, net::NodeId donor) {
+  obs::FlightRecorder::Global().Record(
+      sim_->Now(), id(), obs::FlightEventKind::kResyncPhase,
+      "clone start: replica=" + std::to_string(target) +
+          " donor=" + std::to_string(donor));
   engine::BackupOptions opts;
   opts.include_metadata = true;
   opts.include_sequences = true;

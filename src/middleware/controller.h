@@ -13,6 +13,7 @@
 #include "common/rng.h"
 #include "middleware/messages.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "middleware/recovery_log.h"
 #include "middleware/replica_node.h"
 #include "net/dispatcher.h"
@@ -98,6 +99,16 @@ struct ControllerOptions {
   /// Whether reads may run on the master too (usually true; false models
   /// a dedicated-master configuration).
   bool reads_on_master = true;
+
+  /// Windowed SLO tracking (obs/slo.h): commit latency and replica
+  /// staleness are bucketed into `slo_window`-sized virtual-time windows;
+  /// each closed window's p99 is checked against the target and breaches
+  /// are counted in SHOW REPLICA STATUS. 0 disables tracking.
+  sim::Duration slo_window = 5 * sim::kSecond;
+  /// Commit-latency SLO: p99 of client-observed write latency (ms).
+  double slo_commit_p99_ms = 50.0;
+  /// Staleness SLO: p99 of versions-behind-head served to reads.
+  double slo_staleness_p99 = 100.0;
 
   /// Controller replication (§3.2's missing piece). `mirror_to` names a
   /// standby controller that receives this controller's durable state
@@ -218,6 +229,18 @@ class Controller {
 
   /// Highest staleness (versions behind head) served to any read so far.
   uint64_t max_read_staleness() const { return max_read_staleness_; }
+
+  /// Client transactions currently in flight at the controller (telemetry
+  /// probe for the cluster's time-series sampler).
+  size_t PendingCount() const { return pending_.size(); }
+
+  /// The controller's own push pipeline (cert distribution, resync,
+  /// anti-entropy) — exposed read-only for telemetry probes.
+  const ship::ShipPipeline& ship_pipeline() const { return *ship_pipeline_; }
+
+  /// Windowed SLO trackers (null when options.slo_window == 0).
+  const obs::SloTracker* commit_slo() const { return commit_slo_.get(); }
+  const obs::SloTracker* staleness_slo() const { return staleness_slo_.get(); }
 
   /// The online divergence auditor (populated when audit_interval > 0).
   const audit::DivergenceAuditor& auditor() const { return auditor_; }
@@ -379,6 +402,10 @@ class Controller {
   uint64_t epoch_ = 0;
   ControllerStats stats_;
   uint64_t max_read_staleness_ = 0;
+
+  /// Windowed SLO trackers (see ControllerOptions::slo_window).
+  std::unique_ptr<obs::SloTracker> commit_slo_;
+  std::unique_ptr<obs::SloTracker> staleness_slo_;
 
   // Controller replication (warm standby).
   bool passive_ = false;

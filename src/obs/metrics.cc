@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <cstdio>
+#include <set>
 
 #include "common/logging.h"
 
@@ -142,19 +143,28 @@ std::string Num(double v) {
 
 std::string MetricsRegistry::DumpPrometheus() const {
   std::string out;
+  // Distinct internal names can sanitize to the same Prometheus name
+  // (e.g. "a.b" and "a-b"); the exposition format allows one # TYPE line
+  // per family, so dedupe on the sanitized name.
+  std::set<std::string> typed;
+  auto type_line = [&](const std::string& name, const char* kind) {
+    if (typed.insert(name).second) {
+      out += "# TYPE " + name + " " + kind + "\n";
+    }
+  };
   for (const MetricSample& s : Snapshot()) {
     std::string name = PromName(s.name);
     switch (s.kind) {
       case MetricKind::kCounter:
-        out += "# TYPE " + name + " counter\n";
+        type_line(name, "counter");
         out += name + " " + std::to_string(s.counter) + "\n";
         break;
       case MetricKind::kGauge:
-        out += "# TYPE " + name + " gauge\n";
+        type_line(name, "gauge");
         out += name + " " + std::to_string(s.gauge) + "\n";
         break;
       case MetricKind::kHistogram:
-        out += "# TYPE " + name + " summary\n";
+        type_line(name, "summary");
         out += name + "{quantile=\"0.5\"} " + Num(s.histogram.Median()) + "\n";
         out += name + "{quantile=\"0.95\"} " + Num(s.histogram.P95()) + "\n";
         out += name + "{quantile=\"0.99\"} " + Num(s.histogram.P99()) + "\n";

@@ -1,0 +1,131 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace replidb::obs {
+
+namespace {
+// Nearest-rank-with-interpolation percentile over a scratch copy; `v` is
+// sorted in place. Callers guarantee non-empty.
+double PercentileOf(std::vector<double>& v, double p) {
+  std::sort(v.begin(), v.end());
+  if (p <= 0.0) return v.front();
+  if (p >= 100.0) return v.back();
+  double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+  size_t lo = static_cast<size_t>(std::floor(rank));
+  size_t hi = static_cast<size_t>(std::ceil(rank));
+  lo = std::min(lo, v.size() - 1);
+  hi = std::min(hi, v.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+}  // namespace
+
+SloTracker::SloTracker(std::string name, int64_t window_us, double target_p99)
+    : name_(std::move(name)),
+      window_us_(window_us),
+      target_p99_(target_p99) {
+  REPLIDB_CHECK(window_us > 0, "SLO window must be positive");
+}
+
+void SloTracker::RotateLocked(int64_t ts_us) {
+  if (!started_) {
+    // Align the first window to a multiple of the window size, so window
+    // boundaries are stable regardless of when the first event lands.
+    window_start_us_ = ts_us / window_us_ * window_us_;
+    started_ = true;
+    return;
+  }
+  while (ts_us >= window_start_us_ + window_us_) {
+    if (!current_.empty()) {
+      SloWindow w;
+      w.start_us = window_start_us_;
+      w.end_us = window_start_us_ + window_us_;
+      w.count = current_.size();
+      w.p50 = PercentileOf(current_, 50);
+      w.p99 = PercentileOf(current_, 99);
+      w.breached = w.p99 > target_p99_;
+      last_p50_ = w.p50;
+      last_p99_ = w.p99;
+      ++windows_closed_;
+      if (w.breached) ++breaches_;
+      if (recent_.size() >= kRetainedWindows) {
+        recent_.erase(recent_.begin());
+      }
+      recent_.push_back(w);
+      current_.clear();
+    }
+    window_start_us_ += window_us_;
+  }
+}
+
+void SloTracker::Observe(int64_t ts_us, double value) {
+  std::lock_guard<common::OrderedMutex> lock(mu_);
+  RotateLocked(ts_us);
+  current_.push_back(value);
+}
+
+void SloTracker::AdvanceTo(int64_t ts_us) {
+  std::lock_guard<common::OrderedMutex> lock(mu_);
+  RotateLocked(ts_us);
+}
+
+uint64_t SloTracker::windows_closed() const {
+  std::lock_guard<common::OrderedMutex> lock(mu_);
+  return windows_closed_;
+}
+
+uint64_t SloTracker::breaches() const {
+  std::lock_guard<common::OrderedMutex> lock(mu_);
+  return breaches_;
+}
+
+uint64_t SloTracker::current_count() const {
+  std::lock_guard<common::OrderedMutex> lock(mu_);
+  return current_.size();
+}
+
+double SloTracker::last_p50() const {
+  std::lock_guard<common::OrderedMutex> lock(mu_);
+  return last_p50_;
+}
+
+double SloTracker::last_p99() const {
+  std::lock_guard<common::OrderedMutex> lock(mu_);
+  return last_p99_;
+}
+
+std::vector<SloWindow> SloTracker::RecentWindows() const {
+  std::lock_guard<common::OrderedMutex> lock(mu_);
+  return recent_;
+}
+
+std::string SloTracker::StatusLine() const {
+  std::lock_guard<common::OrderedMutex> lock(mu_);
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s p50=%.3f p99=%.3f target_p99=%.3f windows=%llu "
+                "breaches=%llu",
+                name_.c_str(), last_p50_, last_p99_, target_p99_,
+                static_cast<unsigned long long>(windows_closed_),
+                static_cast<unsigned long long>(breaches_));
+  return buf;
+}
+
+void SloTracker::Reset() {
+  std::lock_guard<common::OrderedMutex> lock(mu_);
+  started_ = false;
+  window_start_us_ = 0;
+  current_.clear();
+  recent_.clear();
+  windows_closed_ = 0;
+  breaches_ = 0;
+  last_p50_ = 0;
+  last_p99_ = 0;
+}
+
+}  // namespace replidb::obs

@@ -1,0 +1,95 @@
+#ifndef REPLIDB_OBS_SLO_H_
+#define REPLIDB_OBS_SLO_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/locks.h"
+
+namespace replidb::obs {
+
+/// \brief Windowed SLO tracking over virtual time.
+///
+/// The paper's operators care about promises, not averages: "commits finish
+/// under X ms at p99", "replicas stay within Y versions of the master". An
+/// SloTracker buckets observations into fixed virtual-time windows, closes
+/// each window with its p50/p99, and counts windows whose p99 exceeded the
+/// target. The controller owns one tracker for commit latency and one for
+/// replica staleness and surfaces both through SHOW REPLICA STATUS.
+///
+/// Windows rotate lazily: an observation (or AdvanceTo) at or past the end
+/// of the current window closes it first. Windows with no observations are
+/// skipped entirely — they carry no percentile and count no breach.
+
+/// Summary of one closed window.
+struct SloWindow {
+  int64_t start_us = 0;
+  int64_t end_us = 0;
+  uint64_t count = 0;
+  double p50 = 0;
+  double p99 = 0;
+  bool breached = false;
+};
+
+class SloTracker {
+ public:
+  /// `target_p99`: the SLO threshold; a closed window with p99 > target
+  /// counts one breach. `window_us` must be > 0.
+  SloTracker(std::string name, int64_t window_us, double target_p99);
+  SloTracker(const SloTracker&) = delete;
+  SloTracker& operator=(const SloTracker&) = delete;
+
+  const std::string& name() const { return name_; }
+  int64_t window_us() const { return window_us_; }
+  double target_p99() const { return target_p99_; }
+
+  /// Records one observation at virtual time `ts_us`, rotating the window
+  /// first when `ts_us` is at or past its end.
+  void Observe(int64_t ts_us, double value);
+
+  /// Rotates windows up to `ts_us` without recording a value (call from
+  /// the periodic sampler so quiet periods still close windows).
+  void AdvanceTo(int64_t ts_us);
+
+  uint64_t windows_closed() const;
+  uint64_t breaches() const;
+  /// Observations recorded in the (still open) current window.
+  uint64_t current_count() const;
+  /// p50/p99 of the most recently *closed* non-empty window (0 if none).
+  double last_p50() const;
+  double last_p99() const;
+
+  /// The most recently closed non-empty windows, newest last (bounded
+  /// retention; kRetainedWindows).
+  std::vector<SloWindow> RecentWindows() const;
+
+  /// One status line, e.g.
+  ///   commit_latency_ms p50=1.2 p99=8.7 target_p99=10 windows=42 breaches=3
+  std::string StatusLine() const;
+
+  void Reset();
+
+  static constexpr size_t kRetainedWindows = 64;
+
+ private:
+  void RotateLocked(int64_t ts_us);  ///< mu_ held.
+
+  const std::string name_;
+  const int64_t window_us_;
+  const double target_p99_;
+  mutable common::OrderedMutex mu_{common::LockRank::kSlo};
+  int64_t window_start_us_ = 0;
+  bool started_ = false;
+  std::vector<double> current_;  ///< Observations in the open window.
+  std::vector<SloWindow> recent_;
+  uint64_t windows_closed_ = 0;
+  uint64_t breaches_ = 0;
+  double last_p50_ = 0;
+  double last_p99_ = 0;
+};
+
+}  // namespace replidb::obs
+
+#endif  // REPLIDB_OBS_SLO_H_

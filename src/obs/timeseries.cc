@@ -1,0 +1,204 @@
+#include "obs/timeseries.h"
+
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace replidb::obs {
+
+Series::Series(std::string name, size_t capacity)
+    : name_(std::move(name)), capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void Series::Add(int64_t ts_us, double value) {
+  std::lock_guard<common::OrderedMutex> lock(mu_);
+  if (count_ < capacity_) {
+    ring_.push_back({ts_us, value});
+    ++count_;
+    return;
+  }
+  // Full: overwrite the oldest slot and advance the head.
+  ring_[head_] = {ts_us, value};
+  head_ = (head_ + 1) % capacity_;
+  ++evicted_;
+}
+
+size_t Series::size() const {
+  std::lock_guard<common::OrderedMutex> lock(mu_);
+  return count_;
+}
+
+uint64_t Series::evicted() const {
+  std::lock_guard<common::OrderedMutex> lock(mu_);
+  return evicted_;
+}
+
+std::vector<SeriesPoint> Series::Points() const {
+  std::lock_guard<common::OrderedMutex> lock(mu_);
+  std::vector<SeriesPoint> out;
+  out.reserve(count_);
+  for (size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(head_ + i) % capacity_]);
+  }
+  return out;
+}
+
+double Series::Last() const {
+  std::lock_guard<common::OrderedMutex> lock(mu_);
+  if (count_ == 0) return 0;
+  return ring_[(head_ + count_ - 1) % capacity_].value;
+}
+
+double Series::MaxValue() const {
+  std::lock_guard<common::OrderedMutex> lock(mu_);
+  double best = 0;
+  for (size_t i = 0; i < count_; ++i) {
+    double v = ring_[i].value;
+    if (i == 0 || v > best) best = v;
+  }
+  return best;
+}
+
+double Series::MinValue() const {
+  std::lock_guard<common::OrderedMutex> lock(mu_);
+  double best = 0;
+  for (size_t i = 0; i < count_; ++i) {
+    double v = ring_[i].value;
+    if (i == 0 || v < best) best = v;
+  }
+  return best;
+}
+
+TimeSeriesHub::TimeSeriesHub(size_t default_capacity)
+    : default_capacity_(default_capacity == 0 ? 1 : default_capacity) {}
+
+Series* TimeSeriesHub::GetSeries(const std::string& name, size_t capacity) {
+  std::lock_guard<common::OrderedMutex> lock(mu_);
+  auto it = series_.find(name);
+  if (it != series_.end()) return it->second.get();
+  auto s = std::make_unique<Series>(
+      name, capacity == 0 ? default_capacity_ : capacity);
+  return series_.emplace(name, std::move(s)).first->second.get();
+}
+
+const Series* TimeSeriesHub::FindSeries(const std::string& name) const {
+  std::lock_guard<common::OrderedMutex> lock(mu_);
+  auto it = series_.find(name);
+  return it == series_.end() ? nullptr : it->second.get();
+}
+
+void TimeSeriesHub::RegisterProbe(const std::string& name, ProbeFn probe) {
+  GetSeries(name);  // Series exists even before the first sample.
+  std::lock_guard<common::OrderedMutex> lock(mu_);
+  probes_[name] = std::move(probe);
+}
+
+void TimeSeriesHub::UnregisterProbe(const std::string& name) {
+  std::lock_guard<common::OrderedMutex> lock(mu_);
+  probes_.erase(name);
+}
+
+void TimeSeriesHub::WatchGauge(const std::string& series,
+                               const std::string& gauge_name) {
+  RegisterProbe(series, [gauge_name] {
+    const Gauge* g = MetricsRegistry::Global().FindGauge(gauge_name);
+    return g == nullptr ? 0.0 : static_cast<double>(g->value());
+  });
+}
+
+void TimeSeriesHub::SampleProbes(int64_t now_us) {
+  // Probe under the hub lock: registration is cold-path and probes read
+  // plain simulator-thread state (they must not take replidb locks).
+  std::lock_guard<common::OrderedMutex> lock(mu_);
+  ++samples_taken_;
+  for (const auto& [name, probe] : probes_) {
+    series_[name]->Add(now_us, probe());
+  }
+}
+
+uint64_t TimeSeriesHub::samples_taken() const {
+  std::lock_guard<common::OrderedMutex> lock(mu_);
+  return samples_taken_;
+}
+
+std::vector<std::string> TimeSeriesHub::SeriesNames() const {
+  std::lock_guard<common::OrderedMutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [name, s] : series_) {
+    (void)s;
+    out.push_back(name);
+  }
+  return out;
+}
+
+size_t TimeSeriesHub::series_count() const {
+  std::lock_guard<common::OrderedMutex> lock(mu_);
+  return series_.size();
+}
+
+std::string TimeSeriesHub::DumpJson() const {
+  // Copy the series table, then render outside the hub lock (Points()
+  // takes each series' inner lock).
+  std::vector<const Series*> all;
+  {
+    std::lock_guard<common::OrderedMutex> lock(mu_);
+    all.reserve(series_.size());
+    for (const auto& [name, s] : series_) {
+      (void)name;
+      all.push_back(s.get());
+    }
+  }
+  std::string out = "{\"series\":[";
+  char buf[64];
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "{\"name\":\"" + all[i]->name() + "\",";
+    std::snprintf(buf, sizeof(buf), "\"evicted\":%llu,\"points\":[",
+                  static_cast<unsigned long long>(all[i]->evicted()));
+    out += buf;
+    std::vector<SeriesPoint> pts = all[i]->Points();
+    for (size_t j = 0; j < pts.size(); ++j) {
+      if (j > 0) out += ",";
+      std::snprintf(buf, sizeof(buf), "[%lld,%.6g]",
+                    static_cast<long long>(pts[j].ts_us), pts[j].value);
+      out += buf;
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string TimeSeriesHub::DumpCsv() const {
+  std::vector<const Series*> all;
+  {
+    std::lock_guard<common::OrderedMutex> lock(mu_);
+    all.reserve(series_.size());
+    for (const auto& [name, s] : series_) {
+      (void)name;
+      all.push_back(s.get());
+    }
+  }
+  std::string out = "series,ts_us,value\n";
+  char buf[64];
+  for (const Series* s : all) {
+    for (const SeriesPoint& p : s->Points()) {
+      out += s->name();
+      std::snprintf(buf, sizeof(buf), ",%lld,%.6g\n",
+                    static_cast<long long>(p.ts_us), p.value);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+void TimeSeriesHub::Reset() {
+  std::lock_guard<common::OrderedMutex> lock(mu_);
+  series_.clear();
+  probes_.clear();
+  samples_taken_ = 0;
+}
+
+}  // namespace replidb::obs

@@ -1,0 +1,134 @@
+#ifndef REPLIDB_OBS_TIMESERIES_H_
+#define REPLIDB_OBS_TIMESERIES_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/locks.h"
+
+namespace replidb::obs {
+
+/// \brief Bounded time-series layer over simulator virtual time.
+///
+/// The paper's practice gaps are temporal — replica lag that grows for
+/// hours, saturation knees, failover windows — so point-in-time gauges and
+/// end-of-run tables are not enough. A TimeSeriesHub periodically snapshots
+/// registered probes (per-replica apply lag, backlog depth, credit-window
+/// bytes, queue depths, in-flight transactions) into bounded ring-buffer
+/// series, exportable as JSON/CSV and printable as lag-over-time curves in
+/// the benches.
+///
+/// All timestamps are *virtual* microseconds supplied by the caller (the
+/// discrete-event simulator's clock), so series are deterministic: the same
+/// seed produces identical curves. The hub is owned by whoever owns the
+/// sampled objects (middleware::Cluster owns one per deployment), so probe
+/// closures never outlive their targets.
+
+/// One sample of one series.
+struct SeriesPoint {
+  int64_t ts_us = 0;
+  double value = 0;
+};
+
+/// \brief Fixed-capacity ring of (virtual time, value) samples. Appends
+/// beyond the capacity evict the oldest sample and are counted.
+class Series {
+ public:
+  explicit Series(std::string name, size_t capacity);
+
+  const std::string& name() const { return name_; }
+  size_t capacity() const { return capacity_; }
+
+  void Add(int64_t ts_us, double value);
+
+  size_t size() const;
+  /// Samples evicted from the ring so far (total appends = size + evicted).
+  uint64_t evicted() const;
+
+  /// Samples oldest to newest (a consistent copy).
+  std::vector<SeriesPoint> Points() const;
+
+  /// Most recent value (0 when empty).
+  double Last() const;
+  /// Largest / smallest value currently held in the ring (0 when empty).
+  double MaxValue() const;
+  double MinValue() const;
+
+ private:
+  const std::string name_;
+  const size_t capacity_;
+  mutable common::OrderedMutex mu_{common::LockRank::kTimeSeriesData};
+  std::vector<SeriesPoint> ring_;  ///< Ring storage, capacity_ slots.
+  size_t head_ = 0;                ///< Next write slot once full.
+  size_t count_ = 0;
+  uint64_t evicted_ = 0;
+};
+
+/// A probe reads one instantaneous value (a gauge level) when sampled.
+using ProbeFn = std::function<double()>;
+
+/// \brief Registry of named series plus the probes that feed them.
+///
+/// `RegisterProbe(name, fn)` binds a probe to the series `name`;
+/// `SampleProbes(now_us)` appends one sample per registered probe — drive
+/// it from a sim::PeriodicTask for a fixed virtual-time sampling interval.
+/// Series can also be fed directly via `GetSeries(name)->Add(...)` for
+/// event-driven values.
+class TimeSeriesHub {
+ public:
+  explicit TimeSeriesHub(size_t default_capacity = kDefaultCapacity);
+  TimeSeriesHub(const TimeSeriesHub&) = delete;
+  TimeSeriesHub& operator=(const TimeSeriesHub&) = delete;
+
+  /// Finds or creates a series. Pointers stay valid for the hub's
+  /// lifetime. `capacity` applies only on creation (0 = hub default).
+  Series* GetSeries(const std::string& name, size_t capacity = 0);
+
+  /// Lookup without creating; nullptr when never registered.
+  const Series* FindSeries(const std::string& name) const;
+
+  /// Binds `probe` to series `name` (replacing any previous probe).
+  void RegisterProbe(const std::string& name, ProbeFn probe);
+  void UnregisterProbe(const std::string& name);
+
+  /// Convenience: probes a gauge in the global MetricsRegistry by name
+  /// (samples 0 until the gauge is first registered there).
+  void WatchGauge(const std::string& series, const std::string& gauge_name);
+
+  /// Appends one sample per registered probe at virtual time `now_us`.
+  void SampleProbes(int64_t now_us);
+
+  /// Number of SampleProbes calls so far.
+  uint64_t samples_taken() const;
+
+  std::vector<std::string> SeriesNames() const;
+  size_t series_count() const;
+
+  /// Machine-readable dump:
+  /// {"series":[{"name":...,"evicted":N,"points":[[ts_us,value],...]},...]}
+  std::string DumpJson() const;
+
+  /// CSV dump, one row per sample: series,ts_us,value.
+  std::string DumpCsv() const;
+
+  /// Drops every series and probe (per-configuration bench isolation).
+  void Reset();
+
+  static constexpr size_t kDefaultCapacity = 4096;
+
+ private:
+  const size_t default_capacity_;
+  mutable common::OrderedMutex mu_{common::LockRank::kTimeSeriesHub};
+  std::map<std::string, std::unique_ptr<Series>> series_;
+  std::map<std::string, ProbeFn> probes_;
+  uint64_t samples_taken_ = 0;
+};
+
+}  // namespace replidb::obs
+
+#endif  // REPLIDB_OBS_TIMESERIES_H_

@@ -150,7 +150,18 @@ std::string Tracer::ChromeTraceJson() const {
     AppendJsonEscaped(&out, track_names_[i]);
     out += "\"}}";
   }
-  for (const Event& e : events_) {
+  // Emit in virtual-time order (stable on ties) so consumers can rely on
+  // per-thread timestamps being monotonically non-decreasing; recording
+  // order interleaves retroactively-closed spans out of order.
+  std::vector<const Event*> ordered;
+  ordered.reserve(events_.size());
+  for (const Event& e : events_) ordered.push_back(&e);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Event* a, const Event* b) {
+                     return a->ts_us < b->ts_us;
+                   });
+  for (const Event* ep : ordered) {
+    const Event& e = *ep;
     if (!first) out += ',';
     first = false;
     out += "{\"name\":\"";

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/recorder.h"
 
 namespace replidb::ship {
 namespace {
@@ -179,6 +180,10 @@ void ShipPipeline::OnCredit(net::NodeId peer, int64_t bytes) {
   p->window = std::min(p->window + bytes, options_.window_bytes);
   if (p->stalled && p->window > 0) {
     p->stalled = false;
+    obs::FlightRecorder::Global().Record(
+        sim_->Now(), dispatcher_->node(), obs::FlightEventKind::kCreditResume,
+        "peer=" + std::to_string(peer) +
+            " window_bytes=" + std::to_string(p->window));
     Pump(peer, p, /*force=*/true, FlushReason::kResume);
   }
   UpdateGauges(p);
@@ -201,6 +206,20 @@ int64_t ShipPipeline::QueuedBytes(net::NodeId peer) const {
   return it == peers_.end() ? 0 : it->second.queued_bytes;
 }
 
+int64_t ShipPipeline::WindowBytes(net::NodeId peer) const {
+  auto it = peers_.find(peer);
+  return it == peers_.end() ? options_.window_bytes : it->second.window;
+}
+
+int64_t ShipPipeline::MinWindowBytes() const {
+  int64_t min_window = options_.window_bytes;
+  for (const auto& [id, p] : peers_) {
+    (void)id;
+    min_window = std::min(min_window, p.window);
+  }
+  return min_window;
+}
+
 void ShipPipeline::Pump(net::NodeId id, Peer* p, bool force,
                         FlushReason reason) {
   while (!p->queue.empty()) {
@@ -211,6 +230,11 @@ void ShipPipeline::Pump(net::NodeId id, Peer* p, bool force,
         p->stalled = true;
         ++stall_events_;
         p->stalls->Increment();
+        obs::FlightRecorder::Global().Record(
+            sim_->Now(), dispatcher_->node(),
+            obs::FlightEventKind::kCreditStall,
+            "peer=" + std::to_string(id) +
+                " queued_bytes=" + std::to_string(p->queued_bytes));
       }
       CancelTimer(p);
       return;

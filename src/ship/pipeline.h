@@ -118,6 +118,11 @@ class ShipPipeline {
   bool Stalled(net::NodeId peer) const;
   bool AnyStalled() const;
   int64_t QueuedBytes(net::NodeId peer) const;
+  /// Remaining credit window to one peer (full window when unknown).
+  int64_t WindowBytes(net::NodeId peer) const;
+  /// Smallest remaining window across peers — the pipeline's tightest
+  /// flow-control constraint (full window when no peers). Telemetry probe.
+  int64_t MinWindowBytes() const;
   uint64_t stall_events() const { return stall_events_; }
   const ShipOptions& options() const { return options_; }
 

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "common/histogram.h"
@@ -160,6 +161,32 @@ TEST(HistogramTest, PercentileEdgeCases) {
   EXPECT_EQ(h.Percentile(0), 10.0);
   EXPECT_EQ(h.Percentile(100), 10.0);
   EXPECT_EQ(h.Percentile(50), 10.0);
+}
+
+TEST(HistogramTest, PercentileOutOfRangeRanksClampToExtremes) {
+  Histogram h;
+  for (int i = 1; i <= 10; ++i) h.Add(i);
+  // Out-of-range and non-finite ranks clamp instead of reading garbage.
+  EXPECT_DOUBLE_EQ(h.Percentile(-5), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(150), 10.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(std::nan("")), 1.0);
+  // Just inside the ends: interpolation stays within [min, max].
+  EXPECT_GE(h.Percentile(1e-9), 1.0);
+  EXPECT_LE(h.Percentile(100.0 - 1e-9), 10.0);
+  EXPECT_NEAR(h.Percentile(99.9999), 10.0, 1e-3);
+}
+
+TEST(HistogramTest, PercentileTwoSamplesAllRanksBounded) {
+  Histogram h;
+  h.Add(3);
+  h.Add(7);
+  for (double p = 0.0; p <= 100.0; p += 0.37) {
+    double v = h.Percentile(p);
+    EXPECT_GE(v, 3.0) << "p=" << p;
+    EXPECT_LE(v, 7.0) << "p=" << p;
+  }
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 3.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 7.0);
 }
 
 TEST(HistogramTest, AddAfterQueryStillSorted) {

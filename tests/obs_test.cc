@@ -1,10 +1,16 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <map>
 #include <set>
 #include <string>
+#include <vector>
 
+#include "common/logging.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace replidb::obs {
@@ -282,6 +288,220 @@ TEST(TracerTest, GlobalToggleDrivesTracingEnabled) {
   Tracer::Global().Disable();
   Tracer::Global().Clear();
   EXPECT_FALSE(TracingEnabled());
+}
+
+TEST(TracerTest, ChromeTraceTimestampsMonotonicPerThread) {
+  // Record events deliberately out of virtual-time order; the exported
+  // trace must come out sorted so viewers do not mis-nest spans.
+  Tracer t;
+  t.Enable();
+  t.Span("replica.1", "late", 900, 950, 1);
+  t.Span("replica.2", "other", 400, 450, 2);
+  t.Span("replica.1", "early", 100, 200, 1);
+  t.Instant("replica.1", "mid", 500);
+  std::string json = t.ChromeTraceJson();
+  // Walk the flat event list: span and instant events serialize as
+  // adjacent `"tid":N,"ts":M` fields. Collect (tid, ts) in emission
+  // order and require nondecreasing ts within each tid (thread_name
+  // metadata events carry a tid but no ts and are skipped).
+  std::map<std::string, std::vector<long>> per_tid;
+  size_t pos = 0;
+  while ((pos = json.find("\"tid\":", pos)) != std::string::npos) {
+    size_t num_start = pos + 6;
+    size_t num_end = json.find_first_of(",}", num_start);
+    std::string tid = json.substr(num_start, num_end - num_start);
+    pos = num_end;
+    if (json.compare(num_end, 6, ",\"ts\":") != 0) continue;
+    long ts = std::strtol(json.c_str() + num_end + 6, nullptr, 10);
+    per_tid[tid].push_back(ts);
+  }
+  ASSERT_GE(per_tid.size(), 2u);
+  for (const auto& [tid, series] : per_tid) {
+    for (size_t i = 1; i < series.size(); ++i) {
+      EXPECT_LE(series[i - 1], series[i]) << "tid " << tid << " idx " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TimeSeriesHub / Series
+// ---------------------------------------------------------------------------
+
+TEST(SeriesTest, RingEvictsOldestAndCountsEvictions) {
+  Series s("replica.1.lag_versions", /*capacity=*/4);
+  for (int i = 0; i < 6; ++i) s.Add(/*ts_us=*/i * 1000, /*value=*/i);
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.evicted(), 2u);
+  std::vector<SeriesPoint> pts = s.Points();
+  ASSERT_EQ(pts.size(), 4u);
+  // Oldest two samples (0, 1) are gone; order is oldest to newest.
+  EXPECT_EQ(pts.front().ts_us, 2000);
+  EXPECT_EQ(pts.back().ts_us, 5000);
+  for (size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_LT(pts[i - 1].ts_us, pts[i].ts_us);
+  }
+  EXPECT_DOUBLE_EQ(s.Last(), 5.0);
+  EXPECT_DOUBLE_EQ(s.MaxValue(), 5.0);
+  EXPECT_DOUBLE_EQ(s.MinValue(), 2.0);
+}
+
+TEST(SeriesTest, EmptySeriesReadsAsZero) {
+  Series s("x", 8);
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_DOUBLE_EQ(s.Last(), 0.0);
+  EXPECT_DOUBLE_EQ(s.MaxValue(), 0.0);
+  EXPECT_TRUE(s.Points().empty());
+}
+
+TEST(TimeSeriesHubTest, ProbesFeedSeriesEachSample) {
+  TimeSeriesHub hub;
+  double lag = 3.0;
+  hub.RegisterProbe("replica.2.lag_versions", [&] { return lag; });
+  hub.SampleProbes(1000);
+  lag = 7.0;
+  hub.SampleProbes(2000);
+  EXPECT_EQ(hub.samples_taken(), 2u);
+  const Series* s = hub.FindSeries("replica.2.lag_versions");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->size(), 2u);
+  EXPECT_DOUBLE_EQ(s->Points()[0].value, 3.0);
+  EXPECT_DOUBLE_EQ(s->Last(), 7.0);
+  EXPECT_EQ(s->Points()[1].ts_us, 2000);
+}
+
+TEST(TimeSeriesHubTest, GetSeriesIsStableAndFindDoesNotCreate) {
+  TimeSeriesHub hub;
+  Series* a = hub.GetSeries("a", 16);
+  EXPECT_EQ(hub.GetSeries("a"), a);
+  EXPECT_EQ(a->capacity(), 16u);
+  EXPECT_EQ(hub.FindSeries("never"), nullptr);
+  EXPECT_EQ(hub.series_count(), 1u);
+}
+
+TEST(TimeSeriesHubTest, DumpJsonAndCsvCarrySamples) {
+  TimeSeriesHub hub;
+  hub.GetSeries("controller.pending_txns")->Add(500, 12);
+  std::string json = hub.DumpJson();
+  EXPECT_NE(json.find("\"controller.pending_txns\""), std::string::npos);
+  EXPECT_NE(json.find("[500,12]"), std::string::npos);
+  std::string csv = hub.DumpCsv();
+  EXPECT_NE(csv.find("controller.pending_txns,500,12"), std::string::npos);
+  hub.Reset();
+  EXPECT_EQ(hub.series_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// FlightRecorder
+// ---------------------------------------------------------------------------
+
+TEST(FlightRecorderTest, PerNodeRingsEvictIndependently) {
+  FlightRecorder rec(/*per_node_capacity=*/3);
+  // Node 1 is chatty; node 2 logs a single precious event early on.
+  rec.Record(100, 2, FlightEventKind::kViewChange, "epoch=1");
+  for (int i = 0; i < 10; ++i) {
+    rec.Record(200 + i, 1, FlightEventKind::kCreditStall, "stall");
+  }
+  EXPECT_EQ(rec.recorded(), 11u);
+  EXPECT_EQ(rec.size(), 4u);  // 3 retained for node 1 + 1 for node 2.
+  ASSERT_EQ(rec.NodeEvents(2).size(), 1u);  // Survived node 1's chatter.
+  EXPECT_EQ(rec.NodeEvents(2)[0].detail, "epoch=1");
+  std::vector<FlightEvent> node1 = rec.NodeEvents(1);
+  ASSERT_EQ(node1.size(), 3u);
+  EXPECT_EQ(node1.front().ts_us, 207);  // Oldest seven evicted.
+}
+
+TEST(FlightRecorderTest, MergedEventsAreVirtualTimeOrdered) {
+  FlightRecorder rec;
+  rec.Record(900, 1, FlightEventKind::kFailover, "promote 2");
+  rec.Record(100, 2, FlightEventKind::kSuspicion, "suspect 1");
+  rec.Record(500, 3, FlightEventKind::kResyncPhase, "catch-up");
+  std::vector<FlightEvent> merged = rec.MergedEvents();
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].ts_us, 100);
+  EXPECT_EQ(merged[1].ts_us, 500);
+  EXPECT_EQ(merged[2].ts_us, 900);
+  std::string text = rec.Render();
+  // Render mentions every kind by its symbolic name.
+  EXPECT_NE(text.find("failover"), std::string::npos);
+  EXPECT_NE(text.find("suspicion"), std::string::npos);
+}
+
+TEST(FlightRecorderDeathTest, CheckFailureDumpsFlightRecorder) {
+  // A REPLIDB_CHECK failure must print the assertion and then the flight
+  // recorder tail, so the post-mortem context rides along with the abort.
+  FlightRecorder::InstallCheckHook();
+  FlightRecorder::Global().Record(12345, 3, FlightEventKind::kCreditStall,
+                                  "window=0B");
+  EXPECT_DEATH(
+      { REPLIDB_CHECK(1 == 2, "deliberate failure for dump-on-failure test"); },
+      "CHECK failed at.*deliberate failure.*flight recorder.*credit_stall");
+}
+
+// ---------------------------------------------------------------------------
+// SloTracker
+// ---------------------------------------------------------------------------
+
+TEST(SloTrackerTest, WindowsRotateOnObservationPastTheEnd) {
+  SloTracker slo("commit_latency_ms", /*window_us=*/1000, /*target_p99=*/10.0);
+  slo.Observe(100, 2.0);
+  slo.Observe(900, 4.0);
+  EXPECT_EQ(slo.windows_closed(), 0u);  // Window [0,1000) still open.
+  EXPECT_EQ(slo.current_count(), 2u);
+  slo.Observe(1000, 6.0);  // At the boundary: closes [0,1000) first.
+  EXPECT_EQ(slo.windows_closed(), 1u);
+  EXPECT_EQ(slo.current_count(), 1u);
+  EXPECT_DOUBLE_EQ(slo.last_p50(), 3.0);
+  EXPECT_EQ(slo.breaches(), 0u);
+  ASSERT_EQ(slo.RecentWindows().size(), 1u);
+  EXPECT_EQ(slo.RecentWindows()[0].start_us, 0);
+  EXPECT_EQ(slo.RecentWindows()[0].end_us, 1000);
+  EXPECT_EQ(slo.RecentWindows()[0].count, 2u);
+}
+
+TEST(SloTrackerTest, BreachCountedWhenP99ExceedsTarget) {
+  SloTracker slo("commit_latency_ms", 1000, 10.0);
+  for (int i = 0; i < 100; ++i) slo.Observe(i, 50.0);  // Way over target.
+  slo.AdvanceTo(2000);  // Sampler tick closes the window with no new value.
+  EXPECT_EQ(slo.windows_closed(), 1u);
+  EXPECT_EQ(slo.breaches(), 1u);
+  EXPECT_DOUBLE_EQ(slo.last_p99(), 50.0);
+  ASSERT_EQ(slo.RecentWindows().size(), 1u);
+  EXPECT_TRUE(slo.RecentWindows()[0].breached);
+  // StatusLine carries the counters for SHOW REPLICA STATUS.
+  std::string line = slo.StatusLine();
+  EXPECT_NE(line.find("windows=1"), std::string::npos);
+  EXPECT_NE(line.find("breaches=1"), std::string::npos);
+}
+
+TEST(SloTrackerTest, EmptyWindowsAreSkippedNotBreached) {
+  SloTracker slo("staleness", 1000, 5.0);
+  slo.Observe(500, 1.0);
+  // A long quiet gap: windows [1000,2000) .. [9000,10000) saw nothing.
+  slo.Observe(10500, 2.0);
+  EXPECT_EQ(slo.windows_closed(), 1u);  // Only [0,1000) closed.
+  EXPECT_EQ(slo.breaches(), 0u);
+  // First window is aligned to a multiple of the window size even when
+  // the first observation arrives mid-window.
+  SloTracker aligned("x", 1000, 5.0);
+  aligned.Observe(1700, 1.0);
+  aligned.Observe(2100, 2.0);
+  ASSERT_EQ(aligned.RecentWindows().size(), 1u);
+  EXPECT_EQ(aligned.RecentWindows()[0].start_us, 1000);
+}
+
+TEST(SloTrackerTest, ResetClearsStateAndRetentionIsBounded) {
+  SloTracker slo("x", 100, 1000.0);
+  for (int w = 0; w < 200; ++w) {
+    slo.Observe(w * 100 + 50, 1.0);
+  }
+  slo.AdvanceTo(100000);
+  EXPECT_EQ(slo.windows_closed(), 200u);
+  EXPECT_LE(slo.RecentWindows().size(), SloTracker::kRetainedWindows);
+  slo.Reset();
+  EXPECT_EQ(slo.windows_closed(), 0u);
+  EXPECT_EQ(slo.current_count(), 0u);
+  EXPECT_TRUE(slo.RecentWindows().empty());
+  EXPECT_DOUBLE_EQ(slo.last_p99(), 0.0);
 }
 
 }  // namespace
